@@ -1,0 +1,103 @@
+"""Ablation: attach and fork-follow latency (the user-facing delays).
+
+How long until a debuggee is actually debuggable?  Three numbers:
+
+* TCP attach: client dial → hello_ack → first command answered;
+* fork-follow: ``os.fork`` under Dionea → child announced → client
+  auto-attached and answering commands (Figs. 5–6 end to end);
+* disturb-mode tax: per-event dispatch cost while disturb is enabled
+  (every event takes the non-quiet path even when nothing parks).
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.core import Dionea
+from repro.server import DebugServer
+
+
+@pytest.mark.benchmark(group="ablation-attach")
+def test_tcp_attach_latency(benchmark):
+    server = DebugServer(program="attach-bench", park_timeout=5.0)
+    server.start()
+    try:
+        def attach_and_command():
+            client = DebugClient()
+            session = client.attach("127.0.0.1", server.port)
+            info = session.request("info")
+            client.close()
+            return info["pid"]
+
+        assert benchmark.pedantic(attach_and_command, rounds=10,
+                                  iterations=1) == os.getpid()
+    finally:
+        server.close()
+
+
+@pytest.mark.benchmark(group="ablation-attach")
+def test_fork_follow_latency(benchmark):
+    """fork → announce → watcher dial → child session usable."""
+    dionea = Dionea(program="follow-bench",
+                    portfile_path=tempfile.mktemp(prefix="dionea-abl-"),
+                    park_timeout=5.0)
+    dionea.start()
+    client = DebugClient()
+    client.watch_portfile(dionea.portfile, poll_interval=0.005)
+    deadline = time.monotonic() + 5
+    while not client.sessions() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    children = []
+    try:
+        def fork_and_reach_child():
+            pid = os.fork()
+            if pid == 0:
+                time.sleep(2.0)  # stay alive long enough to be reached
+                os._exit(0)
+            children.append(pid)
+            session = client.session_for_pid(pid, timeout=5)
+            return session.request("info")["fork_generation"]
+
+        assert benchmark.pedantic(fork_and_reach_child, rounds=5,
+                                  iterations=1) == 1
+    finally:
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+        client.close()
+        dionea.stop()
+
+
+@pytest.mark.benchmark(group="ablation-attach")
+@pytest.mark.parametrize("disturb_on", [False, True],
+                         ids=["disturb-off", "disturb-on"])
+def test_disturb_mode_dispatch_tax(benchmark, disturb_on):
+    """Per-event cost of the non-quiet path disturb forces, measured on
+    a call-dense workload where every UE is already exempt."""
+    from repro.core.disturb import DisturbMode
+    from repro.tracing.engine import TraceEngine
+
+    def leaf(x):
+        return x + 1
+
+    def call_dense():
+        total = 0
+        for i in range(3000):
+            total = leaf(total)
+        return total
+
+    disturb = DisturbMode()
+    engine = TraceEngine(disturb=disturb, park_timeout=1.0)
+    engine.install()
+    try:
+        if disturb_on:
+            disturb.set_enabled(True)  # snapshots this thread as exempt
+            engine.refresh_quiet()
+        assert benchmark(call_dense) == 3000
+    finally:
+        engine.uninstall()

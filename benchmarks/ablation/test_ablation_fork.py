@@ -1,0 +1,77 @@
+"""Ablation: fork-path costs — handlers, sweep size, full Dionea follow.
+
+The §5.4 machinery runs on every spawn; these benches price it:
+
+* plain ``os.fork`` + ``waitpid`` (container baseline — itself ~10 ms
+  because of the Python heap's COW page tables);
+* fork through a :class:`ForkPatcher` with N no-op handler sets;
+* the pre-fork ownership sweep as a function of registered sync objects;
+* the full Dionea fork-follow (sweep + child server re-init + announce).
+"""
+
+import os
+import tempfile
+import threading
+
+import pytest
+
+from repro.forkhooks.augment import ForkPatcher
+from repro.forkhooks.registry import ForkHandlerRegistry
+from repro.forkhooks.syncobjects import SyncObjectRegistry, manage_lock
+
+
+def fork_and_reap():
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+
+
+@pytest.mark.benchmark(group="ablation-fork")
+def test_fork_plain(benchmark):
+    benchmark.pedantic(fork_and_reap, rounds=10, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-fork")
+@pytest.mark.parametrize("n_handlers", [1, 10, 50])
+def test_fork_with_handlers(benchmark, n_handlers):
+    registry = ForkHandlerRegistry()
+    for i in range(n_handlers):
+        registry.register(f"h{i}", prepare=lambda: None,
+                          parent=lambda: None, child=lambda: None)
+    with ForkPatcher(registry):
+        benchmark.pedantic(fork_and_reap, rounds=10, iterations=1)
+    benchmark.extra_info["n_handlers"] = n_handlers
+
+
+@pytest.mark.benchmark(group="ablation-sweep")
+@pytest.mark.parametrize("n_objects", [0, 10, 100, 1000])
+def test_ownership_sweep_cost(benchmark, n_objects):
+    """§5.3 problem 1: acquiring every registered sync object pre-fork."""
+    registry = SyncObjectRegistry()
+    locks = [threading.Lock() for _ in range(n_objects)]
+    for i, lock in enumerate(locks):
+        manage_lock(registry, lock, name=f"lock{i}")
+
+    def sweep():
+        registry.take_ownership()
+        registry.release_ownership()
+
+    benchmark(sweep)
+    benchmark.extra_info["n_objects"] = n_objects
+
+
+@pytest.mark.benchmark(group="ablation-fork")
+def test_fork_full_dionea_follow(benchmark):
+    """The whole §5.4 pipeline: sweep, disable, fork, child server
+    re-init + port-file announce (in the child), parent resume."""
+    from repro.core import Dionea
+
+    dionea = Dionea(program="ablation-fork",
+                    portfile_path=tempfile.mktemp(prefix="dionea-abl-"),
+                    park_timeout=5.0)
+    dionea.start()
+    try:
+        benchmark.pedantic(fork_and_reap, rounds=10, iterations=1)
+    finally:
+        dionea.stop()

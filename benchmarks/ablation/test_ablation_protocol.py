@@ -1,0 +1,101 @@
+"""Ablation: wire-protocol costs — framing, rendering, end-to-end RTT.
+
+The debug channel is on the stop/resume critical path (a client-driven
+step is one request + one response + one event); these benches price
+its layers separately so protocol overhead can be attributed.
+"""
+
+import pytest
+
+from repro.server import protocol
+from repro.util.framing import FrameDecoder, encode_frame
+from repro.util.serde import render_namespace, render_value
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_encode_small_request(benchmark):
+    message = protocol.make_request(7, "resume", {
+        "ue": {"pid": 1234, "tid": 567890}, "action": "step"})
+    frame = benchmark(encode_frame, message)
+    assert len(frame) > 4
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_decode_small_request(benchmark):
+    frame = encode_frame(protocol.make_request(7, "resume", {
+        "ue": {"pid": 1234, "tid": 567890}, "action": "step"}))
+
+    def decode():
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        return next(decoder.messages())
+
+    assert benchmark(decode)["command"] == "resume"
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_encode_stopped_event_with_capture(benchmark):
+    """The realistic heavyweight message: a stop with 8 stack frames."""
+    capture = {
+        "frames": [{"file": f"/app/module_{i}.py", "line": 10 + i,
+                    "function": f"func_{i}", "source": "x = compute(y)",
+                    "locals": {f"var{j}": str(j) for j in range(10)}}
+                   for i in range(8)],
+        "reason": "breakpoint", "breakpoint_id": 3, "watch": None,
+    }
+    event = protocol.make_event("stopped", {
+        "ue": {"pid": 1, "tid": 2}, "capture": capture,
+        "session_token": "ab" * 16})
+    frame = benchmark(encode_frame, event)
+    assert len(frame) > 1000
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_render_namespace_cost(benchmark):
+    """The Variables view rendering that runs at every stop."""
+    namespace = {
+        "counter": 42, "name": "worker-3", "items": list(range(50)),
+        "table": {f"k{i}": [i, i * 2] for i in range(20)},
+        "blob": "x" * 5000, "flag": True, "ratio": 0.5,
+    }
+    rendered = benchmark(render_namespace, namespace)
+    assert "counter" in rendered
+
+
+@pytest.mark.benchmark(group="ablation-protocol")
+def test_stop_resume_round_trip(benchmark):
+    """End to end: breakpoint park -> event -> client resume, over real
+    sockets.  This is the latency a stepping user feels per step."""
+    import os
+    import threading
+    from repro.client import DebugClient
+    from repro.server import DebugServer
+
+    src = os.path.abspath(__file__)
+
+    def tick():
+        beat = 0
+        beat += 1       # BP line
+        return beat
+
+    bp_line = tick.__code__.co_firstlineno + 2
+
+    server = DebugServer(program="rtt", park_timeout=15.0)
+    server.start()
+    client = DebugClient(on_stop=lambda view: view.cont())
+    session = client.attach("127.0.0.1", server.port)
+    session.request("set_break", {"file": src, "line": bp_line})
+    try:
+        def one_cycle():
+            box = {}
+            thread = threading.Thread(
+                target=lambda: box.setdefault("r", tick()))
+            thread.start()
+            thread.join(15.0)
+            return box["r"]
+
+        assert benchmark.pedantic(one_cycle, rounds=20,
+                                  iterations=1) == 1
+    finally:
+        client.close()
+        server.close()

@@ -1,0 +1,107 @@
+"""Ablation: queue payload size vs throughput (§6.3's semaphore + pipe).
+
+The §6.3 queue moves pickled payloads through a pipe gated by a
+semaphore; these benches price a put/get round trip as payload grows —
+the cost that scales §7's overhead with corpus size — and compare the
+inter-thread :class:`ThreadQueue` for context.
+"""
+
+import pytest
+
+from repro.mp.queues import Queue, ThreadQueue
+
+
+@pytest.mark.benchmark(group="ablation-queue")
+@pytest.mark.parametrize("payload_bytes", [64, 4096, 32768])
+def test_queue_roundtrip_by_payload(benchmark, payload_bytes):
+    """Single-threaded put-then-get: the frame must fit in the kernel
+    pipe buffer (64 KiB on Linux), so payloads stop at 32 KiB here;
+    larger frames need a concurrent reader (next test)."""
+    queue = Queue()
+    payload = "x" * payload_bytes
+
+    def roundtrip():
+        queue.put(payload)
+        return queue.get()
+
+    result = benchmark(roundtrip)
+    assert len(result) == payload_bytes
+    benchmark.extra_info["payload_bytes"] = payload_bytes
+    queue.close()
+
+
+@pytest.mark.benchmark(group="ablation-queue")
+def test_queue_streaming_large_payload(benchmark):
+    """1 MiB frames: larger than the pipe, so a consumer thread drains
+    while the producer writes — the §6.3 flow-control path."""
+    import threading
+
+    queue = Queue()
+    payload = "y" * 1048576
+
+    def roundtrip():
+        out = {}
+        reader = threading.Thread(
+            target=lambda: out.setdefault("v", queue.get(timeout=30)))
+        reader.start()
+        queue.put(payload)
+        reader.join(30)
+        return out["v"]
+
+    assert len(benchmark.pedantic(roundtrip, rounds=5,
+                                  iterations=1)) == 1048576
+    queue.close()
+
+
+@pytest.mark.benchmark(group="ablation-queue")
+def test_queue_roundtrip_structured_payload(benchmark):
+    """Dict payloads (the word-count partials) cost pickle, not just IO."""
+    queue = Queue()
+    payload = {f"word{i}": i for i in range(1000)}
+
+    def roundtrip():
+        queue.put(payload)
+        return queue.get()
+
+    result = benchmark(roundtrip)
+    assert len(result) == 1000
+    queue.close()
+
+
+@pytest.mark.benchmark(group="ablation-queue")
+def test_thread_queue_roundtrip(benchmark):
+    """The inter-thread queue (no pickling, no pipe) as the floor."""
+    queue = ThreadQueue()
+
+    def roundtrip():
+        queue.put("token")
+        return queue.get()
+
+    assert benchmark(roundtrip) == "token"
+
+
+@pytest.mark.benchmark(group="ablation-queue")
+@pytest.mark.parametrize("traced", [False, True],
+                         ids=["untraced", "traced"])
+def test_queue_roundtrip_under_tracing(benchmark, traced):
+    """How much of the §7 overhead lives in the queue machinery: the
+    same round trip with the quiet trace hook installed."""
+    from repro.tracing.engine import TraceEngine
+
+    queue = Queue()
+    payload = "x" * 20000
+    engine = None
+    if traced:
+        engine = TraceEngine(park_timeout=1.0)
+        engine.install()
+
+    def roundtrip():
+        queue.put(payload)
+        return queue.get()
+
+    try:
+        assert len(benchmark(roundtrip)) == 20000
+    finally:
+        if engine is not None:
+            engine.uninstall()
+        queue.close()

@@ -1,0 +1,90 @@
+"""Ablation: software-TM throughput vs contention (§9 extension).
+
+Prices the TM substrate so the "debug TM programs" extension has a
+baseline: commit cost when uncontended, throughput collapse under a
+hot-spot, and the cost of running transactions under the quiet trace
+hook (transactional code is ordinary Python to the debugger).
+"""
+
+import threading
+
+import pytest
+
+from repro.stm import MONITOR, TVar, atomically
+
+
+@pytest.fixture(autouse=True)
+def reset_monitor():
+    MONITOR.reset()
+    yield
+    MONITOR.reset()
+
+
+@pytest.mark.benchmark(group="ablation-stm")
+def test_uncontended_commit(benchmark):
+    var = TVar(0)
+
+    def bump():
+        atomically(lambda tx: tx.write(var, tx.read(var) + 1))
+
+    benchmark(bump)
+
+
+@pytest.mark.benchmark(group="ablation-stm")
+def test_read_only_transaction(benchmark):
+    tvars = [TVar(i) for i in range(8)]
+
+    def read_all():
+        return atomically(lambda tx: sum(tx.read(v) for v in tvars))
+
+    assert benchmark(read_all) == sum(range(8))
+
+
+@pytest.mark.benchmark(group="ablation-stm")
+@pytest.mark.parametrize("n_threads", [1, 4])
+def test_hotspot_throughput(benchmark, n_threads):
+    """Total wall time for a fixed number of increments split across
+    threads that all write one TVar — contention manufactures aborts."""
+    per_run = 2000
+
+    def run():
+        var = TVar(0)
+        per_thread = per_run // n_threads
+
+        def bump_loop():
+            for _ in range(per_thread):
+                atomically(lambda tx: tx.write(var, tx.read(var) + 1))
+
+        threads = [threading.Thread(target=bump_loop)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return var.peek()
+
+    assert benchmark.pedantic(run, rounds=3,
+                              iterations=1) == per_run
+    benchmark.extra_info["n_threads"] = n_threads
+
+
+@pytest.mark.benchmark(group="ablation-stm")
+@pytest.mark.parametrize("traced", [False, True],
+                         ids=["untraced", "traced"])
+def test_commit_under_tracing(benchmark, traced):
+    from repro.tracing.engine import TraceEngine
+
+    var = TVar(0)
+    engine = None
+    if traced:
+        engine = TraceEngine(park_timeout=1.0)
+        engine.install()
+
+    def bump():
+        atomically(lambda tx: tx.write(var, tx.read(var) + 1))
+
+    try:
+        benchmark(bump)
+    finally:
+        if engine is not None:
+            engine.uninstall()

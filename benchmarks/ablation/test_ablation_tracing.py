@@ -1,0 +1,70 @@
+"""Ablation: what each layer of the debugger costs (DESIGN.md §5).
+
+Decomposes the §7 overhead into its mechanisms on a fixed in-process
+workload:
+
+* **baseline**      — no debugger at all;
+* **trace-installed** — ``sys.settrace`` hook with the quiet fast path
+  (the interpreter now runs in tracing mode: this is the floor any
+  settrace-based debugger pays on CPython ≥3.11);
+* **line-traced**   — a breakpoint in an unrelated file forces the same
+  workload through the non-quiet dispatch path;
+* **listener-only** — debug server running but tracing not installed
+  (the Reactor thread and sockets are nearly free).
+"""
+
+import os
+
+import pytest
+
+from repro.server import DebugServer
+from repro.tracing.engine import TraceEngine
+
+
+def workload():
+    """Pure-Python busy work: the worst case for tracing mode."""
+    total = 0
+    for i in range(40_000):
+        total += (i ^ (i >> 3)) % 7
+    return total
+
+
+EXPECTED = workload()
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+def test_baseline_no_debugger(benchmark):
+    assert benchmark(workload) == EXPECTED
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+def test_trace_installed_quiet(benchmark):
+    engine = TraceEngine(park_timeout=1.0)
+    engine.install()
+    try:
+        assert benchmark(workload) == EXPECTED
+    finally:
+        engine.uninstall()
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+def test_trace_installed_nonquiet(benchmark):
+    """A breakpoint in another file disables the quiet flag: every call
+    event takes the slow dispatch, though no line tracing happens here."""
+    engine = TraceEngine(park_timeout=1.0)
+    engine.breakpoints.add("/nonexistent/other.py", 10)
+    engine.install()
+    try:
+        assert benchmark(workload) == EXPECTED
+    finally:
+        engine.uninstall()
+
+
+@pytest.mark.benchmark(group="ablation-tracing")
+def test_listener_only_server(benchmark):
+    server = DebugServer(program="ablation", park_timeout=1.0)
+    server.start(install_tracing=False, announce=False)
+    try:
+        assert benchmark(workload) == EXPECTED
+    finally:
+        server.close()

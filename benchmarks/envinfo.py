@@ -1,0 +1,67 @@
+"""Testbed description — our side of the paper's Table 1.
+
+Table 1 documents the authors' machine (Core i5 / 4 cores, 6 GB DDR3,
+Ubuntu 13.04, CPython 2.5.2).  The reproduction reports the same fields
+for the machine the benchmarks actually ran on, so EXPERIMENTS.md can
+show both side by side.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Dict
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = {
+    "CPU": "Intel(R) Core(TM) i5 CPU, 4 cores",
+    "HD": "OCZ Technology Vertex 2 SATA II (SSD)",
+    "Memory": "6GB DDR3 1333MHz",
+    "OS": "Ubuntu 13.04 (3.8.0-27 SMP x86_64 GNU/Linux)",
+    "Python": "2.5.2",
+}
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+def _memory_total() -> str:
+    try:
+        with open("/proc/meminfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("MemTotal"):
+                    kib = int(line.split()[1])
+                    return f"{kib / (1024 * 1024):.1f} GiB"
+    except (OSError, ValueError, IndexError):
+        pass
+    return "unknown"
+
+
+def local_table1() -> Dict[str, str]:
+    """Our testbed, in the paper's Table 1 shape."""
+    return {
+        "CPU": f"{_cpu_model()}, {os.cpu_count()} cores",
+        "HD": "container filesystem",
+        "Memory": _memory_total(),
+        "OS": f"{platform.system()} {platform.release()} "
+              f"({platform.machine()})",
+        "Python": sys.version.split()[0],
+    }
+
+
+def render_comparison() -> str:
+    ours = local_table1()
+    lines = [f"{'field':8s}  {'paper (Table 1)':55s}  this run",
+             "-" * 110]
+    for key in PAPER_TABLE1:
+        lines.append(f"{key:8s}  {PAPER_TABLE1[key]:55s}  {ours[key]}")
+    return "\n".join(lines)

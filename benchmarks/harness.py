@@ -1,0 +1,142 @@
+"""Shared measurement utilities for the §7 overhead experiments.
+
+The paper's methodology: run the same MapReduce word-count program twice
+— once plain, once with Dionea attached and **no breakpoints set** — and
+report the wall-clock increase.  ``overhead_pair`` is that experiment as
+a function: same corpus bytes, same worker count, same code path; the
+only difference between arms is the attached debugger (trace hook +
+listener thread + augmented fork + connected client).
+
+Numbers here are not expected to match the paper's absolute seconds (the
+testbed differs and the corpora are scaled stand-ins — see DESIGN.md);
+the *shape* is the claim under test: overhead is a modest constant
+factor, smaller on small corpora (fixed costs amortise less) and
+settling as corpora grow.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.client import DebugClient
+from repro.core import Dionea
+from repro.corpus import corpus_stats, generate_corpus, get_profile
+from repro.mapreduce import run_wordcount
+
+
+@dataclass
+class ArmResult:
+    """Timings for one arm (normal or debugging) of an experiment."""
+
+    times: List[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+
+@dataclass
+class OverheadResult:
+    """One §7-style experiment outcome."""
+
+    profile: str
+    n_workers: int
+    normal: ArmResult
+    debugging: ArmResult
+    corpus: Dict[str, int]
+
+    @property
+    def overhead_percent(self) -> float:
+        """Increase of the debugging arm over the normal arm (best-of)."""
+        return 100.0 * (self.debugging.best - self.normal.best) \
+            / self.normal.best
+
+    def render(self, paper_label: str = "") -> str:
+        lines = [
+            f"profile={self.profile} workers={self.n_workers} "
+            f"corpus={self.corpus['files']} files / "
+            f"{self.corpus['bytes']} bytes",
+            f"  normal:    best {self.normal.best:8.3f}s  "
+            f"mean {self.normal.mean:8.3f}s",
+            f"  debugging: best {self.debugging.best:8.3f}s  "
+            f"mean {self.debugging.mean:8.3f}s",
+            f"  overhead:  {self.overhead_percent:+6.1f}%"
+            + (f"   (paper: {paper_label})" if paper_label else ""),
+        ]
+        return "\n".join(lines)
+
+
+def time_call(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_arm(fn: Callable[[], object], repeats: int) -> ArmResult:
+    return ArmResult(times=[time_call(fn) for _ in range(repeats)])
+
+
+def wordcount_arm(documents, n_workers: int,
+                  chunksize: int = 4) -> Callable[[], dict]:
+    def run():
+        return run_wordcount(documents, n_workers=n_workers,
+                             chunksize=chunksize, timeout=600)
+    return run
+
+
+class attached_debugger:
+    """Context manager: a started Dionea with a connected client —
+    the paper's "program run with Dionea and no breakpoints"."""
+
+    def __init__(self, program: str = "bench",
+                 park_timeout: float = 30.0):
+        self.program = program
+        self.park_timeout = park_timeout
+        self.dionea: Optional[Dionea] = None
+        self.client: Optional[DebugClient] = None
+
+    def __enter__(self) -> Dionea:
+        portfile = tempfile.mktemp(prefix=f"dionea-bench-{self.program}-")
+        self.dionea = Dionea(program=self.program,
+                             portfile_path=portfile,
+                             park_timeout=self.park_timeout)
+        self.dionea.start()
+        self.client = DebugClient()
+        self.client.watch_portfile(self.dionea.portfile)
+        # wait for the client to hold the parent session, as a real
+        # debug session would
+        deadline = time.monotonic() + 5
+        while not self.client.sessions() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        return self.dionea
+
+    def __exit__(self, *exc_info) -> None:
+        if self.client is not None:
+            self.client.close()
+        if self.dionea is not None:
+            self.dionea.stop()
+
+
+def overhead_pair(profile_name: str, n_workers: int = 4,
+                  repeats: int = 3, chunksize: int = 4) -> OverheadResult:
+    """Run both arms of the §7 experiment for one corpus profile."""
+    profile = get_profile(profile_name)
+    documents = generate_corpus(profile)
+    run = wordcount_arm(documents, n_workers, chunksize)
+
+    # Interleave nothing: finish the normal arm before attaching, so the
+    # debugging arm cannot contaminate it.
+    normal = measure_arm(run, repeats)
+    with attached_debugger(program=f"wordcount-{profile_name}"):
+        debugging = measure_arm(run, repeats)
+
+    return OverheadResult(profile=profile_name, n_workers=n_workers,
+                          normal=normal, debugging=debugging,
+                          corpus=corpus_stats(profile))

@@ -1,0 +1,46 @@
+"""Figure 10 / §7 "bigger sets" — word count over the Linux corpus.
+
+Paper: *"Calculating words' frequency with Dionea in Linux source code
+showed an increment of around 20%"* — normal 1601 s vs debugging 1933 s.
+The linux profile is our scaled stand-in (see DESIGN.md): the largest of
+the three corpora, where per-run fixed costs are fully amortised and the
+overhead has settled at its asymptote.
+
+Shape assertions: debugging is slower; overhead is a bounded constant
+factor; and (checked in EXPERIMENTS.md across files) the asymptote is
+*not smaller* than the small-corpus overhead once fixed costs amortise.
+"""
+
+import pytest
+
+from .harness import attached_debugger, overhead_pair, wordcount_arm
+
+PAPER = {"normal_s": 1601.0, "debugging_s": 1933.0, "overhead_pct": 20.7}
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="fig10-linux")
+def test_fig10_wordcount_linux_corpus(benchmark):
+    result = overhead_pair("linux", n_workers=4, repeats=2)
+
+    from repro.corpus import generate_corpus, get_profile
+    docs = generate_corpus(get_profile("linux"))
+    run = wordcount_arm(docs, n_workers=4)
+    with attached_debugger(program="fig10"):
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info.update({
+        "paper_normal_s": PAPER["normal_s"],
+        "paper_debugging_s": PAPER["debugging_s"],
+        "paper_overhead_pct": PAPER["overhead_pct"],
+        "measured_normal_s": round(result.normal.best, 4),
+        "measured_debugging_s": round(result.debugging.best, 4),
+        "measured_overhead_pct": round(result.overhead_percent, 1),
+    })
+    print("\n=== Figure 10: Linux corpus (large) ===")
+    print(result.render(paper_label=f"+{PAPER['overhead_pct']}% "
+                                    f"({PAPER['normal_s']:.0f}s -> "
+                                    f"{PAPER['debugging_s']:.0f}s)"))
+
+    assert result.debugging.best > result.normal.best
+    assert result.overhead_percent < 100.0

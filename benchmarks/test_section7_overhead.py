@@ -1,0 +1,86 @@
+"""§7 — the full overhead sweep: small vs medium vs large corpora.
+
+Paper: *"An increment of 12.11% in the execution time was found for a
+small set of data when executing the program with Dionea, while bigger
+sets of data showed an increment of around 20%"*, plus the Rust run
+(3'49" → 4'36", ≈ +20.5%).
+
+The sweep reruns the identical experiment across all three corpus
+profiles and checks the cross-size *shape*: overhead everywhere is a
+bounded constant factor, and the small corpus does not show the largest
+overhead once per-run fixed costs (pool spawn) are excluded by scale —
+i.e. overhead does not collapse toward zero as corpora grow (the traced
+per-byte work keeps paying), matching the paper's 12% → ~20% settling
+pattern rather than a fixed-cost-only model.
+"""
+
+import pytest
+
+from .harness import overhead_pair
+
+PAPER_ROWS = {
+    "dionea": "+12.1% (small data set / Fig. 9)",
+    "rust": "+20.5% (Rust master 7613b15, 3'49\" -> 4'36\")",
+    "linux": "+20.7% (bigger sets / Fig. 10)",
+}
+
+_RESULTS = {}
+
+
+def _measure(profile, repeats=2):
+    if profile not in _RESULTS:
+        _RESULTS[profile] = overhead_pair(profile, n_workers=4,
+                                          repeats=repeats)
+    return _RESULTS[profile]
+
+
+@pytest.mark.benchmark(group="section7")
+def test_section7_small(benchmark):
+    result = _measure("dionea")
+    benchmark.pedantic(lambda: None, rounds=1)  # timings carried below
+    benchmark.extra_info["measured_overhead_pct"] = \
+        round(result.overhead_percent, 1)
+    print("\n=== §7 small (dionea profile) ===")
+    print(result.render(paper_label=PAPER_ROWS["dionea"]))
+    assert result.debugging.best > result.normal.best
+
+
+@pytest.mark.benchmark(group="section7")
+def test_section7_rust(benchmark):
+    result = _measure("rust")
+    benchmark.pedantic(lambda: None, rounds=1)
+    benchmark.extra_info["measured_overhead_pct"] = \
+        round(result.overhead_percent, 1)
+    print("\n=== §7 rust profile ===")
+    print(result.render(paper_label=PAPER_ROWS["rust"]))
+    assert result.debugging.best > result.normal.best
+    assert result.overhead_percent < 100.0
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="section7")
+def test_section7_large_and_shape(benchmark):
+    """The cross-size claim: overhead settles rather than vanishing."""
+    small = _measure("dionea")
+    medium = _measure("rust")
+    large = _measure("linux")
+    benchmark.pedantic(lambda: None, rounds=1)
+    benchmark.extra_info.update({
+        "small_pct": round(small.overhead_percent, 1),
+        "medium_pct": round(medium.overhead_percent, 1),
+        "large_pct": round(large.overhead_percent, 1),
+    })
+    print("\n=== §7 sweep ===")
+    for label, result in (("small", small), ("medium", medium),
+                          ("large", large)):
+        print(f"[{label}]")
+        print(result.render(paper_label=PAPER_ROWS[
+            {"small": "dionea", "medium": "rust",
+             "large": "linux"}[label]]))
+
+    # Shape: every arm pays; the overhead does not collapse to ~zero at
+    # scale (the per-byte traced work keeps costing, as in the paper).
+    for result in (small, medium, large):
+        assert result.debugging.best > result.normal.best
+    assert large.overhead_percent > 5.0, \
+        "overhead should persist at scale (per-byte traced work)"

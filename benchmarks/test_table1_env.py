@@ -1,0 +1,17 @@
+"""Table 1 — computer specifications.
+
+The paper's Table 1 documents its testbed; this "benchmark" records ours
+next to it (the numbers in EXPERIMENTS.md come from this output) and
+times the probe itself so it participates in ``--benchmark-only`` runs.
+"""
+
+from .envinfo import PAPER_TABLE1, local_table1, render_comparison
+
+
+def test_table1_environment(benchmark):
+    ours = benchmark(local_table1)
+    print("\n=== Table 1: computer specifications ===")
+    print(render_comparison())
+    # sanity: every paper field has a local counterpart
+    assert set(ours) == set(PAPER_TABLE1)
+    assert all(ours.values())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""§6.2 — finding the exact line of a fork-induced deadlock (Listing 5).
+
+The paper's Ruby program pushes to an inter-thread Queue from a parent
+thread and pops it inside a forked child.  Only the forking thread
+survives a fork, so the pushing thread does not exist in the child and
+the pop blocks forever.  Ruby prints a cryptic fatal message; *"Dionea
+shows the line number where the deadlock has occurred"* (Fig. 7).
+
+This example reproduces that exact scenario with repro.mp.ThreadQueue
+and prints the debugger's deadlock report for the child: the blocked
+resource, the blocked UE, and — the payoff — the precise
+``file:line (function)`` of the hang.
+
+Run:  python examples/deadlock_hunt.py
+"""
+
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.client import DebugClient
+from repro.core import Dionea
+from repro.mp.queues import ThreadQueue
+
+
+def child_main(queue):
+    """Listing 5's fork block: pop a queue only a parent thread fills."""
+    item = queue.get(timeout=8)       # <- the deadlock line (Fig. 7)
+    return item
+
+
+DEADLOCK_LINE = child_main.__code__.co_firstlineno + 2
+
+
+def main():
+    portfile = tempfile.mktemp(prefix="dionea-deadlock-")
+    with Dionea(program="deadlock-hunt", portfile_path=portfile,
+                park_timeout=30.0) as debugger:
+        client = DebugClient()
+        client.watch_portfile(debugger.portfile)
+        time.sleep(0.2)
+
+        queue = ThreadQueue(name="listing5")
+
+        # Listing 5, lines 5-9: a parent thread that pushes after a nap.
+        threading.Thread(
+            target=lambda: (time.sleep(2.0), queue.put(True)),
+            daemon=True).start()
+
+        # Listing 5, line 13: fork and pop inside the child.
+        pid = os.fork()
+        if pid == 0:
+            try:
+                child_main(queue)
+                os._exit(1)           # would mean no deadlock — a bug
+            except Exception:
+                os._exit(0)           # timeout: the deadlock was real
+
+        session = client.session_for_pid(pid, timeout=10)
+        print(f"[client] attached to forked child {pid}")
+
+        # Poll the child's wait-for graph until the block registers.
+        report = {}
+        for _ in range(100):
+            report = session.request("deadlock_report")
+            if report["waiting"]:
+                break
+            time.sleep(0.05)
+
+        if not report.get("waiting"):
+            print("no deadlock observed (unexpected)")
+            return 1
+
+        print("\n=== child deadlock report (compare paper Fig. 7) ===")
+        print(f"all debuggee threads blocked: {report['all_blocked']}")
+        for wait in report["waiting"]:
+            print(f"  {wait['ue']} blocked on {wait['resource']}")
+            print(f"      at {wait['location']}")
+        expected = f"{os.path.abspath(__file__)}:{DEADLOCK_LINE}"
+        located = report["waiting"][0]["location"]
+        print(f"\nexact line identified: "
+              f"{'YES' if located.startswith(expected) else 'NO'} "
+              f"({located})")
+
+        # Contrast with the parent: its pusher thread is alive, so the
+        # parent is NOT deadlocked — only the child is.
+        parent_report = debugger.report_deadlocks()
+        print(f"parent all_blocked: {parent_report['all_blocked']} "
+              f"(the pusher thread only exists here)")
+
+        _, status = os.waitpid(pid, 0)
+        client.close()
+        return 0 if os.waitstatus_to_exitcode(status) == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""§6.3 — debugging a multi-process MapReduce word count (Fig. 8).
+
+The paper's showcase: a word-count job over forked workers sharing
+input/output queues, debugged live.  A breakpoint on entry to the map
+function stops each worker the first time it maps a document; the client walks
+the stopped workers (the Processes-and-threads view of Fig. 2), inspects
+one, and releases them all — after which *"an available child process
+takes over the jobs"* and the job completes with correct counts.
+
+Run:  python examples/mapreduce_wordcount.py [n_workers]
+"""
+
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.client import DebugClient
+from repro.core import Dionea
+from repro.corpus import generate_corpus, get_profile
+from repro.mapreduce import (
+    map_wordcount,
+    merge_counts,
+    run_wordcount,
+    top_words,
+)
+
+
+def main():
+    n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    documents = generate_corpus(get_profile("tiny"))
+    expected = merge_counts(map_wordcount(d) for d in documents)
+
+    portfile = tempfile.mktemp(prefix="dionea-mapreduce-")
+    with Dionea(program="wordcount", portfile_path=portfile,
+                park_timeout=60.0) as debugger:
+        client = DebugClient()
+        client.watch_portfile(debugger.portfile)
+        time.sleep(0.2)
+
+        # Break on the map function's entry: workers stop on their
+        # first document.
+        debugger.server.engine.breakpoints.add_function("map_wordcount")
+        print("[client] function breakpoint on map_wordcount()")
+
+        box = {}
+        job = threading.Thread(
+            target=lambda: box.setdefault(
+                "counts", run_wordcount(documents, n_workers=n_workers,
+                                        timeout=120)))
+        job.start()
+
+        # Walk stopped workers as they appear; inspect the first one.
+        inspected = False
+        released = set()
+        deadline = time.monotonic() + 60
+        while job.is_alive() and time.monotonic() < deadline:
+            for view in client.stopped_views():
+                if view.ue.pid == os.getpid():
+                    continue
+                if not inspected:
+                    capture = view.capture
+                    print(f"[client] worker {view.ue.pid} stopped at "
+                          f"{capture.top.function}() "
+                          f"line {capture.top.line}")
+                    doc = view.evaluate("len(document[1])")
+                    print(f"[client]   eval len(document[1]) -> {doc['value']}")
+                    inspected = True
+                session = view.session
+                try:
+                    for bp in session.request("breaks"):
+                        session.request("clear_break", {"id": bp["id"]})
+                    view.cont()
+                    released.add(view.ue.pid)
+                except Exception:  # noqa: BLE001 - worker already gone
+                    pass
+            time.sleep(0.02)
+        job.join(60)
+
+        counts = box.get("counts")
+        ok = counts == expected
+        print(f"\n[result] {len(documents)} documents, "
+              f"{len(counts or {})} distinct words, "
+              f"{len(released)} workers were stopped and released")
+        print(f"[result] counts match serial reference: "
+              f"{'YES' if ok else 'NO'}")
+        print("[result] top words:")
+        for word, count in top_words(counts or {}, 8):
+            print(f"    {count:6d}  {word}")
+        client.close()
+        return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""§6.4 — reproducing the parallel-gem pipe bug, then the fix.
+
+The paper's field report: under Dionea, the Ruby *parallel* gem 0.5.9
+"very often" deadlocked — forks issued by the interacting threads copied
+every sibling's pipes into every child, so closing a worker's task pipe
+in the parent never produced EOF in that worker.  The fix (0.5.10/11):
+fork sequentially from the main thread and close the copied-but-unused
+sibling pipes in each child.
+
+This example runs the SAME workload through both fork disciplines and
+prints who finished and who hung — then demonstrates the paper's
+debugging methodology: with disturb mode on, every freshly forked worker
+parks at birth, and the client replays the interleaving on purpose.
+
+Run:  python examples/parallel_pipe_bug.py
+"""
+
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.client import DebugClient
+from repro.core import Dionea
+from repro.workerpool import BuggyWorkerPool, FixedWorkerPool
+
+N_WORKERS = 4
+TASKS = list(range(12))
+
+
+def crunch(x):
+    return x * x + 1
+
+
+def show(kind, results, outcomes):
+    hung = [o.index for o in outcomes if o.hung]
+    finished = [o.index for o in outcomes if o.finished]
+    print(f"  {kind:6s}: finished workers {finished}, "
+          f"hung workers {hung}")
+    complete = all(r is not None for r in results)
+    print(f"          all {len(TASKS)} results delivered: "
+          f"{'YES' if complete else 'NO'}")
+    return bool(hung)
+
+
+def main():
+    print(f"=== the §6.4 bug: {N_WORKERS} workers, "
+          f"{len(TASKS)} tasks ===")
+
+    print("\n[1] parallel 0.5.10/11 discipline "
+          "(sequential forks, sibling pipes closed):")
+    fixed = FixedWorkerPool(N_WORKERS, join_timeout=5.0)
+    results, outcomes = fixed.map(crunch, TASKS)
+    fixed_hung = show("fixed", results, outcomes)
+
+    print("\n[2] parallel 0.5.9 discipline "
+          "(concurrent forks from interacting threads):")
+    buggy = BuggyWorkerPool(N_WORKERS, join_timeout=2.0, race_window=True)
+    results, outcomes = buggy.map(crunch, TASKS)
+    buggy_hung = show("buggy", results, outcomes)
+
+    print(f"\nbug reproduced: "
+          f"{'YES' if buggy_hung and not fixed_hung else 'NO'} "
+          f"(buggy hangs, fixed does not)")
+
+    # --- the paper's §6.4 methodology: disturb mode -------------------
+    print("\n[3] disturb mode: every new worker parks at birth; the "
+          "client scripts the interleaving")
+    portfile = tempfile.mktemp(prefix="dionea-pipebug-")
+    with Dionea(program="pipe-bug", portfile_path=portfile,
+                park_timeout=60.0) as debugger:
+        # stop every newly forked *process* (not this script's own
+        # helper threads), as in the paper's §6.4 workflow
+        debugger.disturb_mode.stop_new_threads = False
+        debugger.disturb_mode.set_enabled(True)
+        client = DebugClient()
+        client.watch_portfile(debugger.portfile)
+        time.sleep(0.2)
+
+        box = {}
+
+        def run_pool():
+            pool = FixedWorkerPool(N_WORKERS, join_timeout=30.0)
+            box["out"] = pool.map(crunch, TASKS)
+
+        runner = threading.Thread(target=run_pool)
+        runner.start()
+
+        parked = []
+        deadline = time.monotonic() + 30
+        while len(parked) < N_WORKERS and time.monotonic() < deadline:
+            for view in client.stopped_views():
+                if view.ue.pid != os.getpid() and view not in parked:
+                    parked.append(view)
+                    print(f"    worker {view.ue.pid} disturbed at birth "
+                          f"({view.capture.reason})")
+            time.sleep(0.02)
+
+        print(f"    releasing the {len(parked)} workers in REVERSE "
+              f"birth order (a chosen schedule)")
+        for view in reversed(parked):
+            view.cont()
+
+        runner.join(60)
+        results, outcomes = box["out"]
+        ok = results == [crunch(x) for x in TASKS]
+        print(f"    scripted run completed correctly: "
+              f"{'YES' if ok else 'NO'}")
+        client.close()
+
+    return 0 if (buggy_hung and not fixed_hung and ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: debug a forking program with the Dionea-style debugger.
+
+What this demonstrates (paper sections 4-5 in ~80 lines):
+
+1. start a debug server inside the process (``Dionea``);
+2. attach a client and set a breakpoint;
+3. ``os.fork`` a worker — the augmented fork runs handler phases A/B/C,
+   the child re-establishes its own debug server and announces itself
+   through the port file;
+4. the client auto-attaches to the child, sees it stop at the
+   *inherited* breakpoint, inspects its variables remotely, resumes it.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+from repro.client import DebugClient
+from repro.core import Dionea
+
+
+def child_work(iterations):
+    """The debuggee the child runs; the breakpoint lands in this loop."""
+    total = 0
+    for step in range(iterations):
+        total += step * step          # <- breakpoint here
+    return total
+
+
+BREAK_LINE = child_work.__code__.co_firstlineno + 4  # the "+=" line
+
+
+def main():
+    portfile = tempfile.mktemp(prefix="dionea-quickstart-")
+    with Dionea(program="quickstart", portfile_path=portfile,
+                park_timeout=30.0) as debugger:
+        print(f"[parent {os.getpid()}] debug server on port "
+              f"{debugger.port}")
+
+        # One client, watching the rendezvous file: every debuggee —
+        # present and future — attaches automatically (1 client : N
+        # servers, paper Fig. 1).
+        client = DebugClient()
+        client.watch_portfile(debugger.portfile)
+        time.sleep(0.2)
+
+        # A breakpoint set in the parent is inherited by forked children
+        # (the Fig. 4 metadata block survives the fork by design).
+        debugger.set_breakpoint(os.path.abspath(__file__), BREAK_LINE)
+        print(f"[parent] breakpoint at {__file__}:{BREAK_LINE}")
+
+        pid = os.fork()
+        if pid == 0:
+            # ---- child: just run the work; the debugger does the rest.
+            result = child_work(10)
+            os._exit(0 if result == 285 else 1)
+
+        # ---- parent: drive the child through the client.
+        session = client.session_for_pid(pid, timeout=10)
+        print(f"[client] auto-attached to child pid {session.pid} "
+              f"(generation {session.request('info')['fork_generation']})")
+
+        view = client.wait_for_stop(timeout=10)[0]
+        capture = view.wait_stopped(10)
+        print(f"[client] child stopped: {capture.reason} at "
+              f"{capture.top.file}:{capture.top.line} "
+              f"in {capture.top.function}()")
+
+        # Remote evaluation and the Variables view (paper Fig. 2).
+        print(f"[client] child's locals: {capture.top.locals}")
+        print(f"[client] eval 'iterations * 2' in child -> "
+              f"{view.evaluate('iterations * 2')['value']}")
+
+        # Render what the GUI's source view would show.
+        for line in client.activate(view)["source"]:
+            print(f"    {line}")
+
+        # Clear the child's breakpoints and set it free.
+        for bp in session.request("breaks"):
+            session.request("clear_break", {"id": bp["id"]})
+        view.cont()
+
+        _, status = os.waitpid(pid, 0)
+        code = os.waitstatus_to_exitcode(status)
+        print(f"[parent] child exited with {code}")
+        client.close()
+        return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The container has no `wheel` package and no network, so the PEP 660
+editable path is unavailable; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Debugging parallel programs using fork handlers".
+
+A Dionea-style low-intrusive debugger for multi-process Python programs,
+plus the substrates its evaluation runs on.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+Public API highlights
+---------------------
+
+* :class:`repro.core.Dionea` — facade: start a debug server in-process,
+  patch fork, rendezvous children with the client.
+* :class:`repro.client.DebugClient` — 1-client : N-servers session manager.
+* :mod:`repro.mp` — process-based "threading" substrate (Process, Queue,
+  Lock, Pool, ...).
+* :mod:`repro.mapreduce` — the paper's MapReduce word-count workload.
+* :mod:`repro.workerpool` — the parallel-gem analogue with the §6.4 bug.
+* :mod:`repro.corpus` — deterministic corpora for the §7 benchmarks.
+"""
+
+from ._version import __version__
+
+# Re-export the facade and client at the top level; heavyweight
+# subpackages (mp, mapreduce, workerpool, corpus) are imported lazily by
+# users who need them.
+from .core.dionea import Dionea, current_dionea
+from .client.client import DebugClient
+from .client.shell import Shell
+
+__all__ = ["__version__", "Dionea", "current_dionea", "DebugClient",
+           "Shell"]

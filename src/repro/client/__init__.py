@@ -1,0 +1,12 @@
+"""Debug client: sessions, views, shell (paper sections 4.1-4.2)."""
+
+from .client import DebugClient
+from .recording import SessionRecorder, TranscriptEntry
+from .session import DebugSession
+from .shell import Shell, parse_location
+from .textui import TextUI
+from .view import DebugView
+
+__all__ = ["DebugClient", "SessionRecorder", "TranscriptEntry",
+           "DebugSession", "Shell", "parse_location", "TextUI",
+           "DebugView"]

@@ -1,0 +1,242 @@
+"""DebugClient: one client, many sessions (paper Fig. 1 and section 4.1).
+
+*"this distributed architecture makes possible to debug multiple
+processes from a single client"* — the client keeps one
+:class:`~repro.client.session.DebugSession` per debuggee process and one
+:class:`~repro.client.view.DebugView` per UE, multiplexing views with a
+single *active* view at a time (section 4.2 and Fig. 3).
+
+New debuggees arrive two ways:
+
+* explicitly, via :meth:`attach`;
+* automatically, when a debuggee forks: the child's fork handler writes
+  its port into the rendezvous file and the client's
+  :class:`~repro.util.portfile.PortFileWatcher` dials it (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..server import protocol
+from ..tracing.frames import StackCapture
+from ..util.errors import ReproError, SessionError, ViewError
+from ..util.ids import IdAllocator, UEId
+from ..util.portfile import PortFile, PortFileWatcher, PortRecord
+from ..util.ringlog import debug_event
+from .session import DebugSession
+from .view import DebugView
+
+
+class DebugClient:
+    """1 client : N servers session manager."""
+
+    def __init__(self,
+                 on_stop: Optional[Callable[[DebugView], None]] = None,
+                 on_new_session: Optional[
+                     Callable[[DebugSession], None]] = None):
+        self._sessions: Dict[int, DebugSession] = {}
+        self._views: Dict[UEId, DebugView] = {}
+        self._lock = threading.RLock()
+        self._session_ids = IdAllocator("s")
+        self._view_ids = IdAllocator("v")
+        self._watcher: Optional[PortFileWatcher] = None
+        self._active_view: Optional[DebugView] = None
+        self.on_stop = on_stop
+        self.on_new_session = on_new_session
+        #: stop notifications in arrival order (handy for tests/tools)
+        self.stop_history: List[DebugView] = []
+        self._stop_signal = threading.Condition()
+        #: Fig. 2's Output window, per debuggee pid.
+        self._output: Dict[int, List[tuple]] = {}
+        #: Fig. 1's whole-program view: who forked whom.
+        from ..core.metadata import ProcessTree
+        self.process_tree = ProcessTree()
+
+    # -- attaching ------------------------------------------------------------------
+
+    def attach(self, host: str, port: int, **session_kwargs) -> DebugSession:
+        """Open a session to the debug server at host:port."""
+        session = DebugSession(host, port, self._session_ids.next(),
+                               on_event=self._route_event, **session_kwargs)
+        with self._lock:
+            existing = self._sessions.get(session.pid)
+            if existing is not None and not existing.closed:
+                session.close()
+                raise SessionError(
+                    f"already attached to pid {session.pid}")
+            self._sessions[session.pid] = session
+        self.process_tree.observe(pid=session.pid,
+                                  parent_pid=session.parent_pid,
+                                  program=session.program)
+        debug_event("client", f"attached to pid {session.pid} "
+                              f"at {host}:{port}")
+        if self.on_new_session is not None:
+            try:
+                self.on_new_session(session)
+            except Exception:  # noqa: BLE001 - user callback
+                pass
+        return session
+
+    def watch_portfile(self, portfile: PortFile,
+                       poll_interval: float = 0.02) -> None:
+        """Auto-attach every server announced in the rendezvous file."""
+        if self._watcher is not None:
+            raise SessionError("already watching a port file")
+        self._watcher = PortFileWatcher(
+            portfile=portfile, on_record=self._on_port_record,
+            poll_interval=poll_interval)
+        self._watcher.start()
+
+    def _on_port_record(self, record: PortRecord) -> None:
+        with self._lock:
+            existing = self._sessions.get(record.pid)
+            if existing is not None and not existing.closed:
+                return
+        try:
+            self.attach(record.host, record.port)
+        except (ReproError, OSError) as exc:
+            # The child may have exited between announce and dial; a
+            # failed auto-attach must not kill the watcher.
+            debug_event("client",
+                        f"auto-attach to pid {record.pid} failed: {exc}")
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._watcher is not None:
+            self._watcher.stop()
+            self._watcher = None
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._views.clear()
+            self._active_view = None
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "DebugClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sessions and views -----------------------------------------------------------
+
+    def sessions(self) -> List[DebugSession]:
+        with self._lock:
+            return [s for s in self._sessions.values() if not s.closed]
+
+    def session_for_pid(self, pid: int,
+                        timeout: float = 5.0) -> DebugSession:
+        """Get the session for *pid*, waiting for auto-attach if needed."""
+        import time
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                session = self._sessions.get(pid)
+            if session is not None and not session.closed:
+                return session
+            if time.monotonic() >= deadline:
+                raise SessionError(f"no session for pid {pid}")
+            time.sleep(0.01)
+
+    def view_for(self, ue: UEId) -> DebugView:
+        with self._lock:
+            view = self._views.get(ue)
+            if view is None:
+                session = self._sessions.get(ue.pid)
+                if session is None or session.closed:
+                    raise ViewError(f"no session for {ue}")
+                view = DebugView(self._view_ids.next(), session, ue)
+                self._views[ue] = view
+            return view
+
+    def views(self) -> List[DebugView]:
+        with self._lock:
+            return list(self._views.values())
+
+    # -- active-view multiplexing (Fig. 3) ----------------------------------------------
+
+    @property
+    def active_view(self) -> Optional[DebugView]:
+        with self._lock:
+            return self._active_view
+
+    def activate(self, view: DebugView) -> dict:
+        """Make *view* the active view and render it (Fig. 3 steps 1-4:
+        the previously active view's source is hidden, the new view's
+        source is fetched and displayed)."""
+        with self._lock:
+            self._active_view = view
+        return view.render()
+
+    # -- event routing ---------------------------------------------------------------------
+
+    def _route_event(self, session: DebugSession, message: dict) -> None:
+        event = message.get("event")
+        payload = message.get("payload", {})
+        if event == protocol.EV_STOPPED:
+            ue = protocol.ue_from_wire(payload["ue"])
+            view = self.view_for(ue)
+            view.mark_stopped(StackCapture.from_wire(payload["capture"]))
+            with self._stop_signal:
+                self.stop_history.append(view)
+                self._stop_signal.notify_all()
+            if self.on_stop is not None:
+                try:
+                    self.on_stop(view)
+                except Exception:  # noqa: BLE001
+                    pass
+        elif event == protocol.EV_RESUMED:
+            ue = protocol.ue_from_wire(payload["ue"])
+            with self._lock:
+                view = self._views.get(ue)
+            if view is not None:
+                view.mark_resumed()
+        elif event == protocol.EV_OUTPUT:
+            with self._lock:
+                chunks = self._output.setdefault(payload["pid"], [])
+                chunks.append((payload["stream"], payload["text"]))
+                if len(chunks) > 4000:
+                    del chunks[:len(chunks) - 4000]
+        elif event == protocol.EV_PROCESS_FORKED:
+            # Fig. 1: a child was born; the tree learns about it even
+            # before the child's own announce/attach completes.
+            self.process_tree.observe(pid=payload["child_pid"],
+                                      parent_pid=payload["parent_pid"])
+        elif event == protocol.EV_SERVER_EXIT:
+            self.process_tree.mark_exited(session.pid)
+            session.close()
+
+    def wait_for_stop(self, timeout: float = 10.0,
+                      min_count: int = 1) -> List[DebugView]:
+        """Block until at least *min_count* stop events have arrived."""
+        import time
+        deadline = time.monotonic() + timeout
+        with self._stop_signal:
+            while len(self.stop_history) < min_count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ViewError(
+                        f"only {len(self.stop_history)}/{min_count} stops "
+                        f"within {timeout:.1f}s")
+                self._stop_signal.wait(remaining)
+            return list(self.stop_history)
+
+    def stopped_views(self) -> List[DebugView]:
+        return [v for v in self.views() if v.is_stopped]
+
+    # -- Output window / process tree -------------------------------------------
+
+    def output_for(self, pid: int, stream: Optional[str] = None) -> str:
+        """Buffered output events received from debuggee *pid*."""
+        with self._lock:
+            chunks = list(self._output.get(pid, ()))
+        return "".join(text for label, text in chunks
+                       if stream is None or label == stream)
+
+    def render_process_tree(self) -> str:
+        """Fig. 2's Processes-and-threads pane, process level."""
+        return self.process_tree.render()

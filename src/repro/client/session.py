@@ -1,0 +1,242 @@
+"""DebugSession: the client's leg of one client ↔ debuggee relationship.
+
+Paper section 4.1: *"a debug session is a sequence of interactions
+between debugger and debuggee"*; one client holds one session per
+debuggee process (1 client : N servers, 1 server : 1 client).
+
+Each session owns the client side of the paper's socket layout: the
+**command** connection (requests, responses, asynchronous events) and the
+**source** connection (source-sync requests only, strictly
+request/response).  A dedicated reader thread drains the command socket,
+correlating responses to pending requests by id and handing events to the
+owning client.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from ..server import protocol
+from ..server.sockets import connect_endpoint
+from ..util.errors import (
+    CommandError,
+    FramingError,
+    HandshakeError,
+    SessionError,
+)
+from ..util.framing import recv_frame, send_frame
+from ..util.ids import UEId
+
+
+class _PendingRequest:
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+
+
+class DebugSession:
+    """Client-side session over the command + source sockets."""
+
+    def __init__(self, host: str, port: int, session_id: str,
+                 on_event: Optional[Callable[["DebugSession", dict], None]] = None,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.session_id = session_id
+        self.request_timeout = request_timeout
+        self._on_event = on_event
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._pending_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._source_lock = threading.Lock()
+
+        token = f"client-{session_id}"
+        # Command channel first: its hello_ack carries the debuggee identity.
+        self._command_sock = connect_endpoint(
+            host, port, protocol.ROLE_COMMAND, pid=0,
+            session_token=token, timeout=connect_timeout)
+        ack = recv_frame(self._command_sock)
+        if not isinstance(ack, dict) or ack.get("type") != "hello_ack":
+            self._command_sock.close()
+            raise HandshakeError(f"bad hello_ack from {host}:{port}: {ack!r}")
+        self.pid: int = ack["pid"]
+        self.parent_pid: int = ack["parent_pid"]
+        self.program: Optional[str] = ack.get("program")
+        self.main_thread: int = ack.get("main_thread", 0)
+
+        # Source-sync channel (the paper's second data socket).
+        self._source_sock = connect_endpoint(
+            host, port, protocol.ROLE_SOURCE, pid=0,
+            session_token=token, timeout=connect_timeout)
+        src_ack = recv_frame(self._source_sock)
+        if not isinstance(src_ack, dict) or src_ack.get("type") != "hello_ack":
+            self.close()
+            raise HandshakeError("bad hello_ack on source channel")
+        self._command_sock.settimeout(None)
+        self._source_sock.settimeout(connect_timeout)
+
+        # Events are dispatched on their own thread: handlers routinely
+        # issue blocking requests (e.g. auto-resume on stop), and a
+        # handler running on the reader thread could never see its own
+        # response arrive.
+        import queue as _queue
+        self._event_queue: "_queue.Queue" = _queue.Queue()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name=f"dionea-events-{self.pid}",
+            daemon=True)
+        self._dispatcher.start()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"dionea-session-{self.pid}",
+            daemon=True)
+        self._reader.start()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        for sock in (getattr(self, "_command_sock", None),
+                     getattr(self, "_source_sock", None)):
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        # Fail any requester still waiting.
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for entry in pending:
+            entry.event.set()
+        # Stop the dispatcher (None sentinel).
+        event_queue = getattr(self, "_event_queue", None)
+        if event_queue is not None:
+            event_queue.put(None)
+
+    # -- request/response over the command channel ------------------------------------
+
+    def request(self, command: str, args: Optional[dict] = None,
+                timeout: Optional[float] = None) -> Any:
+        """Send one command and wait for its response.
+
+        Raises :class:`CommandError` when the server reports failure and
+        :class:`SessionError` when the session dies mid-request.
+        """
+        if self._closed.is_set():
+            raise SessionError(f"session to pid {self.pid} is closed")
+        request_id = next(self._request_ids)
+        entry = _PendingRequest()
+        with self._pending_lock:
+            self._pending[request_id] = entry
+        try:
+            send_frame(self._command_sock,
+                       protocol.make_request(request_id, command, args))
+        except OSError as exc:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise SessionError(f"send failed: {exc}") from exc
+        if not entry.event.wait(timeout or self.request_timeout):
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+            raise SessionError(
+                f"timeout waiting for response to {command!r}")
+        response = entry.response
+        if response is None:
+            raise SessionError(f"session to pid {self.pid} closed "
+                               f"while waiting for {command!r}")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise CommandError(error.get("message", "unknown server error"))
+        return response.get("result")
+
+    # -- source channel (lock-step request/response) -------------------------------------
+
+    def fetch_source(self, file: str, start: int = 1,
+                     end: Optional[int] = None) -> dict:
+        """Source-sync: pull lines of *file* over the source socket."""
+        if self._closed.is_set():
+            raise SessionError(f"session to pid {self.pid} is closed")
+        args = {"file": file, "start": start}
+        if end is not None:
+            args["end"] = end
+        with self._source_lock:
+            request_id = next(self._request_ids)
+            send_frame(self._source_sock,
+                       protocol.make_request(request_id, "source", args))
+            try:
+                response = recv_frame(self._source_sock)
+            except (FramingError, OSError) as exc:
+                raise SessionError(f"source channel failed: {exc}") from exc
+        if response is None:
+            raise SessionError("source channel closed")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise CommandError(error.get("message", "source fetch failed"))
+        return response["result"]
+
+    # -- reader thread ---------------------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        while not self._closed.is_set():
+            try:
+                message = recv_frame(self._command_sock)
+            except (FramingError, OSError):
+                break
+            if message is None:
+                break
+            mtype = message.get("type")
+            if mtype == "response":
+                self._complete(message)
+            elif mtype == "event":
+                self._event_queue.put(message)
+        self.close()
+
+    def _dispatch_loop(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        while True:
+            message = self._event_queue.get()
+            if message is None:
+                return
+            if self._on_event is not None:
+                try:
+                    self._on_event(self, message)
+                except Exception:  # noqa: BLE001 - user callback
+                    pass
+
+    def _complete(self, response: dict) -> None:
+        with self._pending_lock:
+            entry = self._pending.pop(response.get("id"), None)
+        if entry is not None:
+            entry.response = response
+            entry.event.set()
+
+    # -- convenience ---------------------------------------------------------------------------
+
+    def threads(self) -> List[dict]:
+        return self.request("threads")
+
+    def ue_for_main_thread(self) -> UEId:
+        return UEId(self.pid, self.main_thread)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DebugSession {self.session_id} pid={self.pid} "
+                f"{self.host}:{self.port}>")

@@ -1,0 +1,129 @@
+"""Text rendering of the full Dionea client window (paper Fig. 2).
+
+The paper's client is a Qt GUI; per DESIGN.md the reproduction renders
+the same panes as text so every affordance of Fig. 2 is testable:
+
+::
+
+    +--------------------------------------+----------------------+
+    | Source code view                     | Processes & threads  |
+    | (active debug view, -> at the stop)  | (tree, stop markers) |
+    +--------------------------------------+----------------------+
+    | Variables                            | Output window        |
+    +--------------------------------------+----------------------+
+
+The command shell (:mod:`repro.client.shell`) and the Input window
+(``input`` command) complete the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..util.errors import ViewError
+from .client import DebugClient
+from .view import DebugView
+
+PANE_WIDTH = 58
+SIDE_WIDTH = 40
+
+
+def _fit(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text.ljust(width)
+    return text[:width - 3] + "..."
+
+
+class TextUI:
+    """Renders a :class:`DebugClient`'s state as Fig. 2-style panes."""
+
+    def __init__(self, client: DebugClient,
+                 source_context: int = 6,
+                 max_variables: int = 12,
+                 output_tail: int = 8):
+        self.client = client
+        self.source_context = source_context
+        self.max_variables = max_variables
+        self.output_tail = output_tail
+
+    # -- panes -----------------------------------------------------------------
+
+    def source_pane(self, view: DebugView) -> List[str]:
+        """Fig. 2's Source code view for the active debug view."""
+        if not view.is_stopped or view.capture is None:
+            return [f"{view.ue}: running (no source position)"]
+        import os
+        rendered = view.render(context=self.source_context)
+        header = (f"{os.path.basename(rendered['file'])}:"
+                  f"{rendered['line']} "
+                  f"in {rendered['function']}() [{rendered['reason']}]")
+        return [header, "-" * len(header)] + rendered["source"]
+
+    def processes_pane(self) -> List[str]:
+        """Fig. 2's Processes-and-threads view, with per-UE state."""
+        lines: List[str] = []
+        tree = self.client.process_tree.render()
+        if tree:
+            lines.extend(tree.splitlines())
+        for session in self.client.sessions():
+            try:
+                rows = session.threads()
+            except Exception:  # noqa: BLE001 - session may be closing
+                continue
+            for row in rows:
+                marker = "*" if row["parked"] else " "
+                lines.append(f"  {marker} {row['label']}")
+        return lines or ["(no debuggees attached)"]
+
+    def variables_pane(self, view: DebugView) -> List[str]:
+        """Fig. 2's Variables area for the active view's top frame."""
+        capture = view.capture
+        if capture is None or capture.top is None:
+            return ["(not stopped)"]
+        rows = sorted(capture.top.locals.items())
+        lines = [f"{name} = {value}" for name, value in rows]
+        if len(lines) > self.max_variables:
+            extra = len(lines) - self.max_variables
+            lines = lines[:self.max_variables] + [f"... (+{extra} more)"]
+        return lines or ["(no locals)"]
+
+    def output_pane(self, pid: int) -> List[str]:
+        """Fig. 2's Output window for one debuggee."""
+        text = self.client.output_for(pid)
+        if not text:
+            return ["(no output)"]
+        return text.splitlines()[-self.output_tail:]
+
+    # -- the full window -----------------------------------------------------------
+
+    def render(self, view: Optional[DebugView] = None) -> str:
+        """The whole Fig. 2 window for the active (or given) view."""
+        view = view or self.client.active_view
+        if view is None:
+            stopped = self.client.stopped_views()
+            if not stopped:
+                raise ViewError("no active or stopped view to render")
+            view = stopped[0]
+
+        source = self.source_pane(view)
+        procs = self.processes_pane()
+        variables = self.variables_pane(view)
+        output = self.output_pane(view.ue.pid)
+
+        def two_columns(left: List[str], right: List[str]) -> List[str]:
+            height = max(len(left), len(right))
+            rows = []
+            for i in range(height):
+                l = left[i] if i < len(left) else ""
+                r = right[i] if i < len(right) else ""
+                rows.append(f"| {_fit(l, PANE_WIDTH)} | "
+                            f"{_fit(r, SIDE_WIDTH)} |")
+            return rows
+
+        bar = "+" + "-" * (PANE_WIDTH + 2) + "+" + "-" * (SIDE_WIDTH + 2) + "+"
+        header = two_columns(["SOURCE"], ["PROCESSES AND THREADS"])
+        body = two_columns(source, procs)
+        mid_header = two_columns(["VARIABLES"], ["OUTPUT"])
+        bottom = two_columns(variables, output)
+        return "\n".join([bar] + header + [bar] + body + [bar]
+                         + mid_header + [bar] + bottom + [bar])

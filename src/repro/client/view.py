@@ -1,0 +1,187 @@
+"""DebugView: the client's handle on one UE (paper section 4.2).
+
+*"Debug views can be understood as the sequence of interactions between
+the client and a concrete UE of the debuggee ... There is only one
+debuggee view active at a time.  Debug views are presented on the client
+side in form of source code and variables with their values."*
+
+A view tracks whether its UE is stopped, carries the last stack capture
+the server shipped, and offers the shell verbs (continue/step/next/...).
+Rendering (:meth:`DebugView.render`) produces exactly what Fig. 2 shows
+for the active view: source context around the stop line, the stack, and
+the variables table.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..server import protocol
+from ..tracing.frames import StackCapture
+from ..util.errors import ViewError
+from ..util.ids import UEId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import DebugSession
+
+
+class DebugView:
+    """Client ↔ one UE."""
+
+    def __init__(self, view_id: str, session: "DebugSession", ue: UEId):
+        self.view_id = view_id
+        self.session = session
+        self.ue = ue
+        self._stopped = threading.Event()
+        self._capture: Optional[StackCapture] = None
+        self._cond = threading.Condition()
+        self._stop_count = 0
+
+    # -- state fed by the client's event router ----------------------------------
+
+    def mark_stopped(self, capture: StackCapture) -> None:
+        with self._cond:
+            self._capture = capture
+            self._stop_count += 1
+            self._stopped.set()
+            self._cond.notify_all()
+
+    def mark_resumed(self) -> None:
+        with self._cond:
+            self._stopped.clear()
+            self._cond.notify_all()
+
+    @property
+    def is_stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    @property
+    def capture(self) -> Optional[StackCapture]:
+        with self._cond:
+            return self._capture
+
+    @property
+    def stop_marker(self) -> int:
+        """Sample before a resume verb, pass to :meth:`wait_stopped_after`
+        to await the *next* stop rather than re-reading the current one."""
+        with self._cond:
+            return self._stop_count
+
+    def wait_stopped(self, timeout: float = 10.0) -> StackCapture:
+        if not self._stopped.wait(timeout):
+            raise ViewError(f"{self.ue} did not stop within {timeout:.1f}s")
+        capture = self.capture
+        if capture is None:
+            raise ViewError(f"{self.ue} stopped without a capture")
+        return capture
+
+    def wait_stopped_after(self, marker: int,
+                           timeout: float = 10.0) -> StackCapture:
+        """Block until a stop event newer than *marker* arrives."""
+        import time
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._stop_count <= marker:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ViewError(
+                        f"{self.ue} saw no new stop within {timeout:.1f}s")
+                self._cond.wait(remaining)
+            if self._capture is None:
+                raise ViewError(f"{self.ue} stopped without a capture")
+            return self._capture
+
+    def wait_resumed(self, timeout: float = 10.0) -> None:
+        import time
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._stopped.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ViewError(
+                        f"{self.ue} did not resume within {timeout:.1f}s")
+                self._cond.wait(remaining)
+
+    # -- shell verbs ------------------------------------------------------------------
+
+    def _resume(self, action: str, until_line: Optional[int] = None) -> None:
+        args: Dict[str, Any] = {"ue": protocol.ue_to_wire(self.ue),
+                                "action": action}
+        if until_line is not None:
+            args["until_line"] = until_line
+        self.session.request("resume", args)
+
+    def cont(self) -> None:
+        """`continue` — run free until the next stop."""
+        self._resume("continue")
+
+    def step(self) -> None:
+        """`step` — stop at the next line, entering calls."""
+        self._resume("step")
+
+    def next(self) -> None:
+        """`next` — stop at the next line in the current frame."""
+        self._resume("next")
+
+    def step_return(self) -> None:
+        """`return` — run until the current frame returns."""
+        self._resume("return")
+
+    def until(self, line: Optional[int] = None) -> None:
+        """`until` — run until a line greater than *line* in this frame."""
+        self._resume("until", until_line=line)
+
+    def suspend(self) -> None:
+        """Ask a running UE to pause (low-intrusive single-thread stop)."""
+        self.session.request("suspend",
+                             {"ue": protocol.ue_to_wire(self.ue)})
+
+    # -- inspection --------------------------------------------------------------------
+
+    def stack(self) -> StackCapture:
+        raw = self.session.request("stack",
+                                   {"ue": protocol.ue_to_wire(self.ue)})
+        return StackCapture.from_wire(raw)
+
+    def evaluate(self, expression: str) -> dict:
+        return self.session.request(
+            "eval", {"ue": protocol.ue_to_wire(self.ue),
+                     "expression": expression})
+
+    def variables(self, frame_index: int = 0) -> dict:
+        return self.session.request(
+            "variables", {"ue": protocol.ue_to_wire(self.ue),
+                          "frame_index": frame_index})
+
+    # -- rendering (what the GUI of Fig. 2 would display) ----------------------------------
+
+    def render(self, context: int = 5) -> Dict[str, Any]:
+        """Source view + variables for the stop site, via source-sync."""
+        capture = self.capture
+        if capture is None or capture.top is None:
+            raise ViewError(f"{self.ue} has no capture to render")
+        top = capture.top
+        start = max(1, top.line - context)
+        source = self.session.fetch_source(
+            top.file, start=start, end=top.line + context)
+        lines: List[str] = []
+        for offset, text in enumerate(source["lines"]):
+            lineno = source["start"] + offset
+            marker = "->" if lineno == top.line else "  "
+            lines.append(f"{marker} {lineno:5d}  {text}")
+        return {
+            "ue": str(self.ue),
+            "file": top.file,
+            "line": top.line,
+            "function": top.function,
+            "reason": capture.reason,
+            "source": lines,
+            "variables": dict(top.locals),
+            "stack": [f"{f.function} at {f.file}:{f.line}"
+                      for f in capture.frames],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "stopped" if self.is_stopped else "running"
+        return f"<DebugView {self.view_id} {self.ue} {state}>"

@@ -1,0 +1,20 @@
+"""Dionea core: facade, fork handlers, disturb mode, deadlock detection."""
+
+from .deadlock import DeadlockDetector, WaitEdge, WaitForGraph
+from .dionea import Dionea, current_dionea
+from .disturb import DisturbMode
+from .handlers import (
+    DIONEA_HANDLER_LABEL,
+    install_dionea_handlers,
+    uninstall_dionea_handlers,
+)
+from .metadata import ProcessNode, ProcessTree
+
+__all__ = [
+    "DeadlockDetector", "WaitEdge", "WaitForGraph",
+    "Dionea", "current_dionea",
+    "DisturbMode",
+    "DIONEA_HANDLER_LABEL", "install_dionea_handlers",
+    "uninstall_dionea_handlers",
+    "ProcessNode", "ProcessTree",
+]

@@ -1,0 +1,171 @@
+"""The Dionea facade: everything wired together.
+
+This is the object the paper's ``python dioneas.py program.py`` entry
+point builds: a debug server embedded in the debuggee process, augmented
+fork functions, Dionea's fork handlers, disturb mode and the deadlock
+detector — one :meth:`start` away from a debuggable process whose forked
+children rendezvous with the client automatically.
+
+Typical embedding (what the examples do)::
+
+    from repro.core import Dionea
+
+    with Dionea(program="wordcount") as dbg:
+        ...   # run the parallel program; forks are followed
+
+    # or, client side:
+    client = DebugClient()
+    client.watch_portfile(dbg.portfile)
+
+Exactly one Dionea may be active per process (it owns ``os.fork`` and
+the interpreter trace hook); :func:`current_dionea` is how the
+instrumented :mod:`repro.mp` primitives find it.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from typing import Optional
+
+from ..forkhooks.augment import ForkPatcher
+from ..forkhooks.registry import ForkHandlerRegistry
+from ..forkhooks.syncobjects import SyncObjectRegistry
+from ..server.debugserver import DebugServer
+from ..util.errors import ReproError
+from ..util.ids import UEId
+from ..util.portfile import PortFile, default_portfile_path
+from ..util.ringlog import debug_event
+from .deadlock import DeadlockDetector
+from .disturb import DisturbMode
+from .handlers import install_dionea_handlers, uninstall_dionea_handlers
+
+_current_lock = threading.Lock()
+_current: Optional["Dionea"] = None
+
+
+def current_dionea() -> Optional["Dionea"]:
+    """The active debugger in this process, if any.
+
+    The repro.mp primitives consult this to register their sync objects
+    (fork-ownership sweep) and to report waits (deadlock detection).
+    """
+    return _current
+
+
+class Dionea:
+    """Debuggee-side facade.  One per process."""
+
+    def __init__(self,
+                 program: Optional[str] = None,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 run_id: Optional[str] = None,
+                 portfile_path: Optional[str] = None,
+                 fork_backend: str = "alias",
+                 park_timeout: Optional[float] = 60.0,
+                 disturb: bool = False,
+                 capture_io: bool = False,
+                 install_tracing: bool = True):
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.portfile = PortFile(
+            portfile_path or default_portfile_path(self.run_id))
+        self.disturb_mode = DisturbMode(enabled=disturb)
+        self.deadlock = DeadlockDetector()
+        self.sync_registry = SyncObjectRegistry()
+        self.fork_registry = ForkHandlerRegistry()
+        self.server = DebugServer(
+            host=host, port=port,
+            portfile=self.portfile,
+            program=program,
+            park_timeout=park_timeout,
+            disturb=self.disturb_mode,
+            disturb_setter=self.disturb_mode.set_enabled,
+            deadlock_reporter=self.deadlock.report,
+            capture_io=capture_io,
+        )
+        self.patcher = ForkPatcher(self.fork_registry, backend=fork_backend)
+        self.patcher.on_child_forked = self._record_child
+        # A disturb toggle must invalidate the engine's fast-path flag.
+        self.disturb_mode.on_change = self.server.engine.refresh_quiet
+        self.server.engine.refresh_quiet()
+        self._install_tracing = install_tracing
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "Dionea":
+        global _current
+        with _current_lock:
+            if _current is not None:
+                raise ReproError("another Dionea is already active "
+                                 "in this process")
+            _current = self
+        try:
+            self.disturb_mode.mark_primary(UEId.current())
+            self.server.start(install_tracing=self._install_tracing,
+                              announce=True)
+            install_dionea_handlers(
+                self.fork_registry, self.server, self.sync_registry,
+                disturb=self.disturb_mode, deadlock=self.deadlock)
+            self.patcher.install()
+            self._started = True
+        except BaseException:
+            with _current_lock:
+                _current = None
+            raise
+        debug_event("dionea", f"started (run {self.run_id}, "
+                              f"port {self.port})")
+        return self
+
+    def stop(self, remove_portfile: bool = True) -> None:
+        global _current
+        if not self._started:
+            return
+        self._started = False
+        if self.patcher.installed:
+            self.patcher.uninstall()
+        try:
+            uninstall_dionea_handlers(self.fork_registry)
+        except ReproError:
+            pass
+        self.server.close()
+        if remove_portfile:
+            try:
+                self.portfile.remove()
+            except OSError:
+                pass
+        with _current_lock:
+            if _current is self:
+                _current = None
+        debug_event("dionea", "stopped")
+
+    def __enter__(self) -> "Dionea":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- parent-side fork bookkeeping ---------------------------------------------
+
+    def _record_child(self, pid: int) -> None:
+        self.server.record_child(pid)
+
+    # -- conveniences used by examples/tests ----------------------------------------
+
+    def set_breakpoint(self, file: str, line: int, **kwargs) -> int:
+        bp = self.server.engine.breakpoints.add(file, line, **kwargs)
+        return bp.id
+
+    def report_deadlocks(self) -> dict:
+        return self.deadlock.report()

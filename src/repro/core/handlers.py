@@ -1,0 +1,99 @@
+"""Dionea's fork handlers — phases A, B and C of paper section 5.4.
+
+::
+
+    A  Prepare fork.        Acquire control over synchronization objects.
+                            Disable the tracing until the listener thread
+                            is restarted, to avoid a deadlock in the child
+                            process (therefore it is not possible to step
+                            inside of the augmented fork).
+
+    B  Handle parent.       Immediately after the fork, release control of
+                            synchronization objects, and re-enable tracing.
+
+    C  Handle child.        Initialize the synchronization objects, close
+                            the inherited sockets, initialize the data
+                            structures, create a listener thread, register
+                            the thread that called fork as the main thread,
+                            inform the client about the creation of a new
+                            debuggee, and finally re-enable the tracing
+                            that was disabled in A.
+
+The handlers are assembled here as one :class:`~repro.forkhooks.registry.
+HandlerSet` so their relative order with any other registered handlers
+follows POSIX ``pthread_atfork`` discipline (section 5.2: other fork
+handlers run along with ours).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..forkhooks.registry import ForkHandlerRegistry, HandlerSet
+from ..forkhooks.syncobjects import SyncObjectRegistry
+from ..server.debugserver import DebugServer
+from ..tracing.engine import TraceEngine
+from ..util.ringlog import GLOBAL_LOG, debug_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deadlock import DeadlockDetector
+    from .disturb import DisturbMode
+
+DIONEA_HANDLER_LABEL = "dionea"
+
+
+def install_dionea_handlers(
+        registry: ForkHandlerRegistry,
+        server: DebugServer,
+        sync_registry: SyncObjectRegistry,
+        disturb: Optional["DisturbMode"] = None,
+        deadlock: Optional["DeadlockDetector"] = None) -> HandlerSet:
+    """Register phases A/B/C on *registry*; returns the handler set."""
+
+    engine: TraceEngine = server.engine
+
+    def prepare_fork() -> None:
+        # A — take ownership of the debuggee's sync objects so the one
+        # thread that survives in the child owns (and can release) them
+        # all, "eliminating the possibility of deadlocks" (§5.3 item 1).
+        sync_registry.take_ownership()
+        # A — disable tracing across the fork: a trace stop between fork
+        # and the child's new listener thread would park a UE that no one
+        # could ever release.
+        engine.disable()
+        debug_event("handlers", "phase A complete (locks held, trace off)")
+
+    def handle_parent_at_fork() -> None:
+        # B — mirror image of A, in the parent.
+        engine.enable()
+        sync_registry.release_ownership()
+        debug_event("handlers", "phase B complete (parent resumed)")
+
+    def handle_child_at_fork() -> None:
+        # C — in paper order:
+        # "Initialize the synchronization objects,"
+        sync_registry.reinit_after_fork()
+        # "close the inherited sockets, initialize the data structures,
+        #  create a listener thread, ... inform the client":
+        GLOBAL_LOG.reset_after_fork()
+        if deadlock is not None:
+            deadlock.reset_after_fork()
+        if disturb is not None:
+            disturb.reset_after_fork()
+        # "register the thread that called fork as the main thread":
+        engine.reset_after_fork()
+        server.reinit_after_fork()
+        # "finally re-enable the tracing that was disabled in A."
+        engine.enable()
+        debug_event("handlers", "phase C complete (child re-established)")
+
+    return registry.register(
+        DIONEA_HANDLER_LABEL,
+        prepare=prepare_fork,
+        parent=handle_parent_at_fork,
+        child=handle_child_at_fork,
+    )
+
+
+def uninstall_dionea_handlers(registry: ForkHandlerRegistry) -> None:
+    registry.unregister(DIONEA_HANDLER_LABEL)

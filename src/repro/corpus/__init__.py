@@ -1,0 +1,19 @@
+"""Synthetic corpora standing in for the paper's source trees (§7)."""
+
+from .generator import generate_file_text, generate_line, make_vocabulary
+from .reserved import RESERVED_WORDS, is_countable, is_reserved
+from .trees import (
+    PROFILES,
+    CorpusProfile,
+    corpus_stats,
+    generate_corpus,
+    get_profile,
+    write_corpus,
+)
+
+__all__ = [
+    "generate_file_text", "generate_line", "make_vocabulary",
+    "RESERVED_WORDS", "is_countable", "is_reserved",
+    "PROFILES", "CorpusProfile", "corpus_stats", "generate_corpus",
+    "get_profile", "write_corpus",
+]

@@ -1,0 +1,125 @@
+"""Corpus profiles standing in for the paper's three source trees.
+
+Paper section 7 measures the same word-count program over corpora of
+three sizes:
+
+* **dionea** — Dionea's own trunk (r656): *small*; Fig. 9 shows 2.31 s
+  normal vs 2.58 s debugging (≈ +12 %);
+* **rust** — Rust master 7613b15: *medium*; 3'49" vs 4'36" (≈ +20 %);
+* **linux** — Linux 3.18.1: *large*; Fig. 10 shows 1601 s vs 1933 s
+  (≈ +20 %).
+
+Our profiles keep the *ratios* (small : medium : large ≈ 1 : 8 : 40 by
+token volume, echoing the real trees' relative sizes) while scaling the
+absolute volume down so a with/without-debugger pair finishes in
+benchmark-friendly time on this container.  The overhead *shape* — small
+corpus ≈ low-teens %, larger corpora ≈ twenty-ish % — is what the
+reproduction must show; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..util.errors import CorpusError
+from .generator import generate_file_text, make_vocabulary
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Parameters for one synthetic tree."""
+
+    name: str
+    n_files: int
+    lines_per_file: int
+    vocabulary_size: int
+    seed: int
+    #: which real tree this stands in for, for reporting
+    stands_in_for: str = ""
+
+    @property
+    def approx_lines(self) -> int:
+        return self.n_files * self.lines_per_file
+
+
+#: Scaled stand-ins.  Sizes chosen so one §7 arm runs for whole seconds
+#: (timing noise settles) while the full sweep (3 profiles x 2 modes x
+#: several repetitions) still fits in minutes, not the paper's hours.
+PROFILES: Dict[str, CorpusProfile] = {
+    "dionea": CorpusProfile(
+        name="dionea", n_files=500, lines_per_file=200,
+        vocabulary_size=1500, seed=0xD10, stands_in_for="Dionea trunk r656"),
+    "rust": CorpusProfile(
+        name="rust", n_files=900, lines_per_file=330,
+        vocabulary_size=5000, seed=0x2057, stands_in_for="Rust master 7613b15"),
+    "linux": CorpusProfile(
+        name="linux", n_files=1800, lines_per_file=440,
+        vocabulary_size=9000, seed=0x318, stands_in_for="Linux 3.18.1"),
+    #: small profile for fast unit/integration tests
+    "small": CorpusProfile(
+        name="small", n_files=48, lines_per_file=60,
+        vocabulary_size=1200, seed=0x51, stands_in_for="(tests only)"),
+    #: tiny profile for unit tests
+    "tiny": CorpusProfile(
+        name="tiny", n_files=6, lines_per_file=12,
+        vocabulary_size=80, seed=7, stands_in_for="(tests only)"),
+}
+
+#: Generation is deterministic, so corpora are memoised per profile —
+#: benchmark pairs regenerate nothing between arms.
+_CORPUS_CACHE: Dict[CorpusProfile, List[Tuple[str, str]]] = {}
+
+
+def get_profile(name: str) -> CorpusProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise CorpusError(
+            f"unknown corpus profile {name!r}; "
+            f"choose from {sorted(PROFILES)}") from None
+
+
+def generate_corpus(profile: CorpusProfile) -> List[Tuple[str, str]]:
+    """The whole tree in memory: ``[(relative_path, text), ...]``.
+
+    Deterministic: repeated calls with the same profile are identical,
+    so a benchmark's debug and no-debug arms read the same bytes.
+    """
+    cached = _CORPUS_CACHE.get(profile)
+    if cached is not None:
+        return list(cached)
+    rng = random.Random(profile.seed)
+    vocabulary = make_vocabulary(rng, profile.vocabulary_size)
+    files: List[Tuple[str, str]] = []
+    for index in range(profile.n_files):
+        directory = f"src/module_{index % 16:02d}"
+        path = f"{directory}/file_{index:04d}.src"
+        file_seed = rng.randrange(2 ** 31)
+        files.append((path, generate_file_text(
+            file_seed, profile.lines_per_file, vocabulary)))
+    _CORPUS_CACHE[profile] = files
+    return list(files)
+
+
+def write_corpus(profile: CorpusProfile, root: str) -> List[str]:
+    """Materialise the tree under *root*; returns absolute file paths."""
+    paths = []
+    for rel_path, text in generate_corpus(profile):
+        full = os.path.join(root, profile.name, rel_path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        paths.append(full)
+    return paths
+
+
+def corpus_stats(profile: CorpusProfile) -> Dict[str, int]:
+    """Volume numbers for EXPERIMENTS.md and benchmark reports."""
+    files = generate_corpus(profile)
+    total_bytes = sum(len(text) for _, text in files)
+    total_lines = sum(text.count("\n") for _, text in files)
+    return {"files": len(files), "bytes": total_bytes,
+            "lines": total_lines}

@@ -1,0 +1,22 @@
+"""Fork handlers: the paper's core mechanism (sections 5.2-5.4)."""
+
+from .augment import ForkPatcher, active_patcher
+from .registry import (
+    ForkHandlerRegistry,
+    HandlerFailure,
+    HandlerSet,
+    run_around_fork,
+)
+from .syncobjects import (
+    GLOBAL_SYNC_REGISTRY,
+    ManagedSyncObject,
+    SyncObjectRegistry,
+    manage_lock,
+)
+
+__all__ = [
+    "ForkPatcher", "active_patcher",
+    "ForkHandlerRegistry", "HandlerFailure", "HandlerSet", "run_around_fork",
+    "GLOBAL_SYNC_REGISTRY", "ManagedSyncObject", "SyncObjectRegistry",
+    "manage_lock",
+]

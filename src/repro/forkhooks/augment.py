@@ -1,0 +1,169 @@
+"""Augmented fork functions: hooking the registry into ``os.fork``.
+
+Paper Listing 4 shows Dionea's Python technique verbatim::
+
+    __python_fork = os.fork
+    os.fork = _dionea_fork
+
+i.e. a *method alias*: the original fork is saved and a wrapper installed
+that brackets it with the prepare/parent/child handlers (phases A/B/C of
+section 5.4).  We reproduce that mechanism as :class:`ForkPatcher`, and —
+because the reproduction targets modern CPython — also offer the
+interpreter-native registration path ``os.register_at_fork`` (added in
+3.7, long after the paper) as an alternative backend.
+
+Both backends drive the same :class:`~repro.forkhooks.registry.
+ForkHandlerRegistry`, so handler semantics are identical; only the
+interception point differs:
+
+* ``alias`` backend (the paper's): catches every call through the
+  ``os.fork`` *name*.  Faithful, and additionally able to *abort* the fork
+  when a prepare handler fails — something ``register_at_fork`` cannot do.
+* ``atfork`` backend: catches forks the alias cannot see (extension
+  modules calling ``fork(2)`` directly through the C API), but prepare
+  failures can only be logged, not veto the fork.
+
+Only one backend may be active at a time, otherwise every handler would
+run twice around one fork.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Optional
+
+from ..util.errors import ForkHookError
+from ..util.ringlog import debug_event
+from .registry import ForkHandlerRegistry
+
+_install_lock = threading.Lock()
+_active_patcher: Optional["ForkPatcher"] = None
+
+
+class ForkPatcher:
+    """Owns the patched ``os.fork`` and routes it through a registry."""
+
+    def __init__(self, registry: ForkHandlerRegistry,
+                 backend: str = "alias"):
+        if backend not in ("alias", "atfork"):
+            raise ForkHookError(f"unknown backend: {backend!r}")
+        self.registry = registry
+        self.backend = backend
+        self._original_fork: Optional[Callable[[], int]] = None
+        self._wrapper: Optional[Callable[[], int]] = None
+        self._installed = False
+        #: Called in the parent with the child's pid after a successful
+        #: fork (paper Listing 4 appends the pid to ``_processes``).
+        #: Only available on the ``alias`` backend — ``register_at_fork``
+        #: callbacks never see the pid.
+        self.on_child_forked: Optional[Callable[[int], None]] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def install(self) -> None:
+        global _active_patcher
+        with _install_lock:
+            if self._installed:
+                raise ForkHookError("patcher already installed")
+            if _active_patcher is not None:
+                raise ForkHookError(
+                    "another fork patcher is active; uninstall it first")
+            if self.backend == "alias":
+                self._original_fork = os.fork
+                # Bind the wrapper once: attribute access on a method
+                # creates a fresh bound object every time, and uninstall
+                # must compare identities.
+                self._wrapper = self._augmented_fork
+                os.fork = self._wrapper  # type: ignore[assignment]
+            else:
+                # register_at_fork entries cannot be unregistered, so the
+                # callbacks consult self._installed and become no-ops after
+                # uninstall().  prepare/parent/child order matches POSIX.
+                os.register_at_fork(
+                    before=self._atfork_before,
+                    after_in_parent=self._atfork_parent,
+                    after_in_child=self._atfork_child,
+                )
+            self._installed = True
+            _active_patcher = self
+            debug_event("forkhooks", f"fork patcher installed ({self.backend})")
+
+    def uninstall(self) -> None:
+        global _active_patcher
+        with _install_lock:
+            if not self._installed:
+                return
+            if self.backend == "alias":
+                if os.fork is not self._wrapper:
+                    # Someone re-patched over us; restoring would clobber
+                    # their wrapper.  Refuse loudly rather than corrupt.
+                    raise ForkHookError(
+                        "os.fork was re-patched by someone else; "
+                        "cannot restore safely")
+                os.fork = self._original_fork  # type: ignore[assignment]
+                self._original_fork = None
+            self._installed = False
+            if _active_patcher is self:
+                _active_patcher = None
+            debug_event("forkhooks", "fork patcher uninstalled")
+
+    def __enter__(self) -> "ForkPatcher":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+    # -- alias backend ----------------------------------------------------------
+
+    def _augmented_fork(self) -> int:
+        """The Dionea fork of Listing 4: A, fork, then B or C."""
+        registry = self.registry
+        registry.run_prepare()  # A — may raise, aborting the fork
+        try:
+            pid = self._original_fork()
+        except BaseException:
+            registry.run_parent()  # undo A; we are still the parent
+            raise
+        if pid == 0:
+            registry.run_child()  # C
+            return 0
+        registry.run_parent()  # B
+        if self.on_child_forked is not None:
+            try:
+                self.on_child_forked(pid)
+            except Exception:  # noqa: BLE001 - bookkeeping must not break fork
+                debug_event("forkhooks", "on_child_forked callback failed")
+        return pid
+
+    # -- atfork backend ----------------------------------------------------------
+
+    def _atfork_before(self) -> None:
+        if not self._installed:
+            return
+        try:
+            self.registry.run_prepare()
+        except ForkHookError:
+            # register_at_fork offers no way to veto the fork; the prepare
+            # unwind already released what was acquired, so the child just
+            # starts undebugged.  Record it.
+            debug_event("forkhooks", "prepare failed under atfork backend; "
+                                     "fork proceeds undebugged")
+
+    def _atfork_parent(self) -> None:
+        if self._installed:
+            self.registry.run_parent()
+
+    def _atfork_child(self) -> None:
+        if self._installed:
+            self.registry.run_child()
+
+
+def active_patcher() -> Optional[ForkPatcher]:
+    """The currently installed patcher, if any."""
+    return _active_patcher

@@ -1,0 +1,204 @@
+"""Ordered fork-handler registry.
+
+Paper section 5.2: *"Fork handlers are functions hooked to the fork
+function"*; section 5.4 splits Dionea's handlers into three phases that
+mirror POSIX ``pthread_atfork``:
+
+* **prepare** — runs in the parent *before* the fork (Dionea phase A:
+  acquire sync objects, disable tracing);
+* **parent**  — runs in the parent *after* the fork (phase B: release sync
+  objects, re-enable tracing);
+* **child**   — runs in the child *after* the fork (phase C: reinitialise
+  sync objects, close inherited sockets, rebuild metadata, restart the
+  listener thread, announce to the client, re-enable tracing).
+
+Ordering follows POSIX: *prepare* handlers run in **reverse** registration
+order (last registered, first run), *parent* and *child* handlers run in
+registration order.  That discipline is what lets independently written
+handlers nest lock acquisitions correctly — section 5.2 notes that "other
+hooked fork handlers will be called along with our fork handlers", so the
+registry must compose with handlers it does not own.
+
+Handler exceptions are contained: a failing prepare handler aborts the
+fork (its effects are unwound by running the parent handlers of everything
+that already prepared); failing parent/child handlers are recorded and the
+rest still run — half-configured debugging must not kill the debuggee.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..util.errors import ForkHookError
+from ..util.ringlog import debug_event
+
+Handler = Callable[[], None]
+
+
+@dataclass(frozen=True)
+class HandlerSet:
+    """One registration: up to three phase callbacks plus a label."""
+
+    label: str
+    prepare: Optional[Handler] = None
+    parent: Optional[Handler] = None
+    child: Optional[Handler] = None
+
+    def __post_init__(self):
+        if self.prepare is None and self.parent is None and self.child is None:
+            raise ForkHookError(
+                f"handler set {self.label!r} registers no callbacks")
+
+
+@dataclass
+class HandlerFailure:
+    """A phase callback that raised; kept for post-mortem inspection."""
+
+    label: str
+    phase: str
+    exception: BaseException
+
+
+class ForkHandlerRegistry:
+    """Thread-safe ordered registry of :class:`HandlerSet` objects."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._handlers: List[HandlerSet] = []
+        self._failures: List[HandlerFailure] = []
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, label: str, prepare: Optional[Handler] = None,
+                 parent: Optional[Handler] = None,
+                 child: Optional[Handler] = None) -> HandlerSet:
+        handler_set = HandlerSet(label=label, prepare=prepare,
+                                 parent=parent, child=child)
+        with self._lock:
+            if any(existing.label == label for existing in self._handlers):
+                raise ForkHookError(f"duplicate handler label: {label!r}")
+            self._handlers.append(handler_set)
+        return handler_set
+
+    def unregister(self, label: str) -> None:
+        with self._lock:
+            for i, handler_set in enumerate(self._handlers):
+                if handler_set.label == label:
+                    del self._handlers[i]
+                    return
+        raise ForkHookError(f"unknown handler label: {label!r}")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._handlers.clear()
+            self._failures.clear()
+
+    @property
+    def labels(self) -> List[str]:
+        with self._lock:
+            return [h.label for h in self._handlers]
+
+    @property
+    def failures(self) -> List[HandlerFailure]:
+        with self._lock:
+            return list(self._failures)
+
+    def clear_failures(self) -> None:
+        with self._lock:
+            self._failures.clear()
+
+    # -- phase execution -----------------------------------------------------
+
+    def _snapshot(self) -> List[HandlerSet]:
+        with self._lock:
+            return list(self._handlers)
+
+    def run_prepare(self) -> List[HandlerSet]:
+        """Run prepare handlers (reverse order).
+
+        Returns the list of handler sets whose prepare phase completed, so
+        the caller can unwind exactly those if a later one fails.  On
+        failure the already-prepared sets have their *parent* callbacks run
+        (the parent phase is the designated "undo" of prepare, per POSIX
+        practice) and :class:`ForkHookError` is raised — the fork must not
+        proceed with half the locks held.
+        """
+        prepared: List[HandlerSet] = []
+        for handler_set in reversed(self._snapshot()):
+            if handler_set.prepare is None:
+                prepared.append(handler_set)
+                continue
+            try:
+                handler_set.prepare()
+            except BaseException as exc:
+                debug_event("forkhooks",
+                            f"prepare handler {handler_set.label!r} raised "
+                            f"{type(exc).__name__}; unwinding")
+                self._unwind(prepared)
+                raise ForkHookError(
+                    f"prepare handler {handler_set.label!r} failed: {exc!r}"
+                ) from exc
+            prepared.append(handler_set)
+        return prepared
+
+    def _unwind(self, prepared: List[HandlerSet]) -> None:
+        # prepared is in execution order (i.e. reverse registration order);
+        # undo in the opposite order to keep lock nesting well-formed.
+        for handler_set in reversed(prepared):
+            if handler_set.parent is None:
+                continue
+            try:
+                handler_set.parent()
+            except BaseException as exc:  # noqa: BLE001
+                self._record_failure(handler_set.label, "unwind", exc)
+
+    def run_parent(self) -> None:
+        """Run parent handlers in registration order; contain failures."""
+        for handler_set in self._snapshot():
+            if handler_set.parent is None:
+                continue
+            try:
+                handler_set.parent()
+            except BaseException as exc:  # noqa: BLE001
+                self._record_failure(handler_set.label, "parent", exc)
+
+    def run_child(self) -> None:
+        """Run child handlers in registration order; contain failures."""
+        for handler_set in self._snapshot():
+            if handler_set.child is None:
+                continue
+            try:
+                handler_set.child()
+            except BaseException as exc:  # noqa: BLE001
+                self._record_failure(handler_set.label, "child", exc)
+
+    def _record_failure(self, label: str, phase: str,
+                        exc: BaseException) -> None:
+        debug_event("forkhooks",
+                    f"{phase} handler {label!r} raised {type(exc).__name__}")
+        with self._lock:
+            self._failures.append(HandlerFailure(label, phase, exc))
+
+
+def run_around_fork(registry: ForkHandlerRegistry,
+                    fork: Callable[[], int]) -> Tuple[int, bool]:
+    """Execute *fork* bracketed by the registry's three phases.
+
+    Returns ``(pid, is_child)``.  This is the skeleton both the augmented
+    ``os.fork`` (repro.forkhooks.augment) and tests drive.
+    """
+    registry.run_prepare()
+    try:
+        pid = fork()
+    except BaseException:
+        # fork itself failed: the parent still holds everything prepare
+        # acquired; release it as if we were the (only) surviving parent.
+        registry.run_parent()
+        raise
+    if pid == 0:
+        registry.run_child()
+        return pid, True
+    registry.run_parent()
+    return pid, False

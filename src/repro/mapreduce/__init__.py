@@ -1,0 +1,18 @@
+"""MapReduce on forked workers (paper sections 6.3 and 7)."""
+
+from .engine import MapReduceEngine, MapReduceJob, MapReduceStats, run_wordcount
+from .partition import partition_for, shuffle, stable_hash
+from .wordcount import (
+    map_wordcount,
+    merge_counts,
+    reduce_wordcount,
+    tokenize,
+    top_words,
+)
+
+__all__ = [
+    "MapReduceEngine", "MapReduceJob", "MapReduceStats", "run_wordcount",
+    "partition_for", "shuffle", "stable_hash",
+    "map_wordcount", "merge_counts", "reduce_wordcount", "tokenize",
+    "top_words",
+]

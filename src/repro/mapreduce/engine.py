@@ -1,0 +1,123 @@
+"""The MapReduce engine of paper sections 6.3 and 7.
+
+Runs a map function over inputs on N forked workers (shared input/output
+queues, as Fig. 8 describes), shuffles by key, then reduces each bucket —
+all on :mod:`repro.mp`, so every spawn goes through the (possibly
+augmented) fork and every payload moves as pickle through
+semaphore-and-pipe queues.  This is the program the §7 overhead
+benchmarks time with and without an attached Dionea.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..mp.pool import Pool
+from ..util.errors import PoolError
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """A job is its two phase functions (top-level, picklable)."""
+
+    map_func: Callable[[Any], Dict[str, Any]]
+    reduce_func: Callable[[str, List[Any]], Any]
+    name: str = "mapreduce"
+
+
+@dataclass
+class MapReduceStats:
+    """Execution accounting the benchmarks report alongside timings."""
+
+    inputs: int = 0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    distinct_keys: int = 0
+    worker_pids: List[int] = field(default_factory=list)
+    map_worker_spread: Dict[int, int] = field(default_factory=dict)
+
+
+def _reduce_bucket(job_reduce: Callable, bucket: List[Tuple[str, List[Any]]]
+                   ) -> Dict[str, Any]:
+    """Top-level reducer-bucket runner (picklable)."""
+    return {key: job_reduce(key, values) for key, values in bucket}
+
+
+class MapReduceEngine:
+    """Fork-based MapReduce over shared queues."""
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 chunksize: int = 4,
+                 n_partitions: Optional[int] = None):
+        if n_workers is None:
+            n_workers = os.cpu_count() or 4
+        if n_workers < 1:
+            raise PoolError("need at least one worker")
+        self.n_workers = n_workers
+        self.chunksize = max(1, chunksize)
+        self.n_partitions = n_partitions or self.n_workers
+        self.last_stats: Optional[MapReduceStats] = None
+
+    def run(self, job: MapReduceJob,
+            inputs: Iterable[Any],
+            timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Execute *job* over *inputs*; returns the merged reduce output."""
+        from .partition import shuffle  # local: keep import cycle-free
+
+        items = list(inputs)
+        stats = MapReduceStats(inputs=len(items))
+
+        with Pool(self.n_workers) as pool:
+            stats.worker_pids = pool.worker_pids()
+
+            # Map phase: chunked fan-out over the shared task queue.
+            chunks = [items[i:i + self.chunksize]
+                      for i in range(0, len(items), self.chunksize)]
+            stats.map_tasks = len(chunks)
+            handles = [pool.apply_async(_map_chunk, (job.map_func, chunk))
+                       for chunk in chunks]
+            partials: List[Dict[str, Any]] = []
+            for handle in handles:
+                chunk_partials = handle.get(timeout)
+                partials.extend(chunk_partials)
+                pid = handle.worker_pid
+                if pid is not None:
+                    stats.map_worker_spread[pid] = (
+                        stats.map_worker_spread.get(pid, 0) + 1)
+
+            # Shuffle: deterministic key → bucket assignment.
+            buckets = shuffle(partials, self.n_partitions)
+            stats.reduce_tasks = sum(1 for b in buckets if b)
+
+            # Reduce phase: one task per non-empty bucket.
+            reduce_handles = [
+                pool.apply_async(_reduce_bucket, (job.reduce_func, bucket))
+                for bucket in buckets if bucket
+            ]
+            merged: Dict[str, Any] = {}
+            for handle in reduce_handles:
+                merged.update(handle.get(timeout))
+
+        stats.distinct_keys = len(merged)
+        self.last_stats = stats
+        return merged
+
+
+def _map_chunk(map_func: Callable, chunk: List[Any]) -> List[Dict[str, Any]]:
+    """Top-level mapper-chunk runner (picklable)."""
+    return [map_func(item) for item in chunk]
+
+
+def run_wordcount(documents: Iterable[Tuple[str, str]],
+                  n_workers: int = 4,
+                  chunksize: int = 4,
+                  timeout: Optional[float] = None) -> Dict[str, int]:
+    """Convenience wrapper: the paper's word-count job end to end."""
+    from .wordcount import map_wordcount, reduce_wordcount
+    engine = MapReduceEngine(n_workers=n_workers, chunksize=chunksize)
+    job = MapReduceJob(map_func=map_wordcount,
+                       reduce_func=reduce_wordcount,
+                       name="wordcount")
+    return engine.run(job, documents, timeout=timeout)

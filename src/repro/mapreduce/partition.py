@@ -1,0 +1,55 @@
+"""Shuffle-phase partitioning: stable key → reducer-bucket assignment.
+
+``hash()`` is randomized per process (PYTHONHASHSEED), and the map and
+reduce phases may run in *different* processes — so the partitioner must
+be a deterministic content hash, not the builtin.  CRC-32 over the UTF-8
+key bytes is stable everywhere and runs in C, which matters twice: the
+shuffle touches every distinct key once per mapper output, and under the
+debugger every *Python*-level loop runs in the interpreter's de-optimised
+tracing mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, TypeVar
+from zlib import crc32
+
+V = TypeVar("V")
+
+
+def stable_hash(key: str) -> int:
+    """Deterministic 32-bit hash of the key (CRC-32 of its UTF-8 bytes)."""
+    return crc32(key.encode("utf-8"))
+
+
+def partition_for(key: str, n_partitions: int) -> int:
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    return crc32(key.encode("utf-8")) % n_partitions
+
+
+def shuffle(partials: Iterable[Dict[str, V]], n_partitions: int
+            ) -> List[List[Tuple[str, List[V]]]]:
+    """Group mapped values by key into *n_partitions* reducer inputs.
+
+    Returns one bucket per partition; each bucket is a list of
+    ``(key, [values...])`` pairs sorted by key, so reducers see
+    deterministic input regardless of mapper completion order.
+
+    The inner loop is deliberately lean (locals only, C hashing): it runs
+    once per (mapper, key) pair and sits on the §7 benchmark's traced
+    path in the parent process.
+    """
+    if n_partitions < 1:
+        raise ValueError("n_partitions must be >= 1")
+    grouped: List[Dict[str, List[V]]] = [dict() for _ in range(n_partitions)]
+    _crc32 = crc32
+    for partial in partials:
+        for key, value in partial.items():
+            bucket = grouped[_crc32(key.encode("utf-8")) % n_partitions]
+            values = bucket.get(key)
+            if values is None:
+                bucket[key] = [value]
+            else:
+                values.append(value)
+    return [sorted(bucket.items()) for bucket in grouped]

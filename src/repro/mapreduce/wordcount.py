@@ -1,0 +1,67 @@
+"""The §6.3 / §7 word-count job.
+
+*"This program maps words that contain only letters and are not reserved
+words, then the program reduces the values obtained in the map phase to
+calculate the frequency of each word."*
+
+Pure functions, top-level so they pickle across the task queue.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from itertools import filterfalse
+from typing import Dict, Iterable, List, Tuple
+
+from ..corpus.reserved import RESERVED_WORDS
+
+#: Letter runs — automatically "only letters"; the reserved filter is a
+#: set lookup on top.
+_WORD_RE = re.compile(r"[A-Za-z]+")
+
+#: C-level building blocks: ``frozenset.__contains__`` fed to
+#: ``itertools.filterfalse`` filters an entire token stream without a
+#: Python-level loop, which matters under the debugger — CPython runs
+#: every *Python* loop in de-optimised tracing mode while a trace
+#: function is installed, but C loops are unaffected.
+_is_reserved = RESERVED_WORDS.__contains__
+
+
+def tokenize(text: str) -> List[str]:
+    """Countable words of *text*: letter-only tokens minus reserved words."""
+    return list(filterfalse(_is_reserved, _WORD_RE.findall(text)))
+
+
+def map_wordcount(document: Tuple[str, str]) -> Dict[str, int]:
+    """Map phase: (path, text) → partial frequency table.
+
+    The per-document body is deliberately C-level end to end (regex scan,
+    frozenset filter, Counter): under CPython's tracing mode any Python
+    inner loop runs de-optimised (~2x), which would swamp the debugger
+    overhead the §7 benchmarks isolate.  The remaining traced Python in
+    the workload is the process/queue machinery itself — the same layer
+    Fig. 8 shows Dionea stepping through.
+    """
+    _path, text = document
+    return dict(Counter(filterfalse(_is_reserved,
+                                    _WORD_RE.findall(text))))
+
+
+def reduce_wordcount(key: str, values: Iterable[int]) -> int:
+    """Reduce phase: merge per-document counts for one word."""
+    return sum(values)
+
+
+def merge_counts(partials: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Serial reference combiner (used by tests as the ground truth)."""
+    total: Counter = Counter()
+    for partial in partials:
+        total.update(partial)
+    return dict(total)
+
+
+def top_words(frequencies: Dict[str, int], n: int = 10
+              ) -> List[Tuple[str, int]]:
+    """Most frequent words, ties broken alphabetically (deterministic)."""
+    return sorted(frequencies.items(), key=lambda kv: (-kv[1], kv[0]))[:n]

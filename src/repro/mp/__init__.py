@@ -1,0 +1,29 @@
+"""repro.mp — process-based "threading" substrate (paper section 6.3).
+
+The slice of ``multiprocessing`` the paper's programs rely on, built from
+scratch on ``os.fork``, pipes and pipe-token semaphores so the debugger's
+augmented fork sees every spawn.
+"""
+
+from .futures import Future, ProcessPoolExecutor, as_completed
+from .pipes import Connection, Pipe, open_connections
+from .pool import AsyncResult, Pool, RemoteError
+from .process import Process, active_children
+from .queues import Queue, ThreadQueue
+from .sharedmem import (
+    SharedArray,
+    SharedCounter,
+    SharedMemoryError,
+    SharedValue,
+)
+from .synchronize import Barrier, BoundedSemaphore, Event, Lock, Semaphore
+
+__all__ = [
+    "Future", "ProcessPoolExecutor", "as_completed",
+    "Connection", "Pipe", "open_connections",
+    "AsyncResult", "Pool", "RemoteError",
+    "Process", "active_children",
+    "Queue", "ThreadQueue",
+    "SharedArray", "SharedCounter", "SharedMemoryError", "SharedValue",
+    "Barrier", "BoundedSemaphore", "Event", "Lock", "Semaphore",
+]

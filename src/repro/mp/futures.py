@@ -1,0 +1,169 @@
+"""Executor-style facade over the fork-based pool.
+
+The `concurrent.futures` surface is how modern Python code consumes
+process pools; providing it over :class:`repro.mp.pool.Pool` means any
+such program runs on this substrate — and therefore under the debugger,
+fork-followed — without modification beyond the import.
+
+Scope: the synchronous core of the Executor contract (submit/map/
+shutdown, Future with result/exception/done/callbacks).  Cancellation
+of already-queued work is not supported (the task queue is a shared
+pipe; un-sending a frame is not a thing), matching the paper's own
+substrate, where a submitted job always reaches a worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from ..util.errors import PoolError
+from .pool import AsyncResult, Pool, RemoteError
+
+
+class Future:
+    """concurrent.futures-flavoured handle over an AsyncResult."""
+
+    def __init__(self, async_result: AsyncResult):
+        self._async_result = async_result
+        self._callbacks: List[Callable[["Future"], None]] = []
+        self._callback_lock = threading.Lock()
+        self._watcher: Optional[threading.Thread] = None
+
+    # -- state ---------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._async_result.ready()
+
+    def running(self) -> bool:
+        return not self.done()
+
+    def cancel(self) -> bool:
+        """Always False: queued frames cannot be unsent (documented)."""
+        return False
+
+    def cancelled(self) -> bool:
+        return False
+
+    # -- results ----------------------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        return self._async_result.get(timeout)
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        try:
+            self._async_result.get(timeout)
+            return None
+        except RemoteError as exc:
+            return exc
+
+    @property
+    def worker_pid(self) -> Optional[int]:
+        return self._async_result.worker_pid
+
+    # -- callbacks ----------------------------------------------------------------
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Run *fn(self)* when the future completes (immediately if it
+        already has)."""
+        run_now = False
+        with self._callback_lock:
+            if self.done():
+                run_now = True
+            else:
+                self._callbacks.append(fn)
+                if self._watcher is None:
+                    self._watcher = threading.Thread(
+                        target=self._watch, name="future-callbacks",
+                        daemon=True)
+                    self._watcher.start()
+        if run_now:
+            self._invoke(fn)
+
+    def _watch(self) -> None:
+        try:
+            self._async_result.get(timeout=None)
+        except RemoteError:
+            pass
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke(fn)
+
+    def _invoke(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - callback bugs are the user's
+            pass
+
+
+class ProcessPoolExecutor:
+    """Drop-in-shaped executor over forked workers."""
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 initializer: Optional[Callable] = None,
+                 initargs: tuple = ()):
+        self._pool = Pool(processes=max_workers,
+                          initializer=initializer, initargs=initargs)
+        self._shutdown = False
+        self._lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        return self._pool.processes
+
+    def submit(self, fn: Callable, /, *args, **kwargs) -> Future:
+        with self._lock:
+            if self._shutdown:
+                raise PoolError("cannot submit after shutdown")
+            return Future(self._pool.apply_async(fn, args, kwargs or None))
+
+    def map(self, fn: Callable, *iterables: Iterable,
+            timeout: Optional[float] = None,
+            chunksize: int = 1) -> Iterator:
+        """Like Executor.map: lazy iterator over ordered results."""
+        futures = [self.submit(fn, *args) for args in zip(*iterables)]
+
+        def results() -> Iterator:
+            for future in futures:
+                yield future.result(timeout)
+
+        return results()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._pool.close()
+        if wait:
+            self._pool.join(60.0)
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+
+def as_completed(futures: Iterable[Future],
+                 timeout: Optional[float] = None) -> Iterator[Future]:
+    """Yield futures in completion order (poll-based, coarse)."""
+    import time
+    pending = list(futures)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while pending:
+        progressed = False
+        for future in list(pending):
+            if future.done():
+                pending.remove(future)
+                progressed = True
+                yield future
+        if not pending:
+            return
+        if deadline is not None and time.monotonic() > deadline:
+            raise PoolError(f"{len(pending)} futures unfinished "
+                            f"after {timeout}s")
+        if not progressed:
+            time.sleep(0.005)

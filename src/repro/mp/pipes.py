@@ -1,0 +1,181 @@
+"""Pipe-based connections: the transport under queues and worker pools.
+
+``Pipe()`` returns a pair of :class:`Connection` objects like
+``multiprocessing.Pipe`` — one-way by default (reader end, writer end),
+or duplex with two underlying OS pipes.
+
+Fork interaction is the whole point of this package (paper sections 5.1,
+6.4): after a fork both processes hold descriptors for both ends.  The
+§6.4 parallel-gem bug is precisely *"All the unnecessary pipes used for
+each of the forked processes are copied"* into sibling children that
+never close them, keeping the write end open and the reader blocked.
+:meth:`Connection.close` and the FD-tracking registry below are what a
+correct pool uses to drop copied-but-unused ends in each child.
+
+Each connection's in-process send/recv guards are ``threading.Lock``
+objects, registered with the active debugger's sync-object registry so
+the pre-fork ownership sweep (§5.3 problem 1) covers them: without the
+sweep, a thread holding a send lock at fork time leaves the child's copy
+locked forever.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import threading
+from typing import Any, List, Optional, Tuple
+
+from ..util.errors import QueueClosed
+from . import reduction
+
+#: Per-process registry of open connections, so tests and pool
+#: implementations can reason about leaked descriptors (§6.4).
+_open_connections: "set[Connection]" = set()
+_open_lock = threading.Lock()
+
+
+def open_connections() -> List["Connection"]:
+    with _open_lock:
+        return [c for c in _open_connections if not c.closed]
+
+
+def _register_with_debugger(lock: threading.Lock, name: str,
+                            owner: object) -> None:
+    """Register an in-process guard lock for the pre-fork sweep.
+
+    *owner* (the Connection) carries the weak reference, so the entry
+    disappears with the connection instead of accumulating forever.
+    """
+    from ..core.dionea import current_dionea  # late: avoid cycle
+    from ..forkhooks.syncobjects import manage_lock
+    dionea = current_dionea()
+    if dionea is not None:
+        manage_lock(dionea.sync_registry, lock, name=name, owner=owner)
+
+
+class Connection:
+    """One end of a pipe; send and/or receive pickled objects."""
+
+    def __init__(self, read_fd: Optional[int], write_fd: Optional[int],
+                 label: str = "conn"):
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+        self.label = label
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+        with _open_lock:
+            _open_connections.add(self)
+        _register_with_debugger(self._send_lock, f"{label}.send_lock", self)
+        _register_with_debugger(self._recv_lock, f"{label}.recv_lock", self)
+
+    # -- capabilities -----------------------------------------------------------
+
+    @property
+    def readable(self) -> bool:
+        return self._read_fd is not None
+
+    @property
+    def writable(self) -> bool:
+        return self._write_fd is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fileno(self) -> int:
+        """The read descriptor if present, else the write descriptor."""
+        fd = self._read_fd if self._read_fd is not None else self._write_fd
+        if fd is None:
+            raise QueueClosed(f"{self.label} is fully closed")
+        return fd
+
+    # -- data plane -------------------------------------------------------------
+
+    def send(self, obj: Any) -> int:
+        if self._closed or self._write_fd is None:
+            raise QueueClosed(f"{self.label} is not writable")
+        with self._send_lock:
+            return reduction.send_obj(self._write_fd, obj)
+
+    def recv(self) -> Any:
+        if self._closed or self._read_fd is None:
+            raise QueueClosed(f"{self.label} is not readable")
+        with self._recv_lock:
+            return reduction.recv_obj(self._read_fd)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """True if a recv would not block (data buffered or EOF pending)."""
+        if self._closed or self._read_fd is None:
+            raise QueueClosed(f"{self.label} is not readable")
+        ready, _, _ = select.select([self._read_fd], [], [], timeout)
+        return bool(ready)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close both descriptors.  Idempotent.
+
+        Closing copies in a forked child is the §6.4 fix: the sibling's
+        reader sees EOF only when the *last* write descriptor closes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for fd in (self._read_fd, self._write_fd):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self._read_fd = None
+        self._write_fd = None
+        with _open_lock:
+            _open_connections.discard(self)
+
+    def close_reader(self) -> None:
+        """Drop only the read end (a writer-role process after fork)."""
+        if self._read_fd is not None:
+            try:
+                os.close(self._read_fd)
+            except OSError:
+                pass
+            self._read_fd = None
+
+    def close_writer(self) -> None:
+        """Drop only the write end (a reader-role process after fork)."""
+        if self._write_fd is not None:
+            try:
+                os.close(self._write_fd)
+            except OSError:
+                pass
+            self._write_fd = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "closed" if self._closed else (
+            f"r={self._read_fd} w={self._write_fd}")
+        return f"<Connection {self.label} {state}>"
+
+
+def Pipe(duplex: bool = False,
+         label: str = "pipe") -> Tuple[Connection, Connection]:
+    """A connected pair of :class:`Connection` objects.
+
+    Non-duplex (default, like the parallel gem's ``IO.pipe``): the first
+    connection is read-only, the second write-only.  Duplex: both ends
+    read and write over two OS pipes.
+    """
+    r1, w1 = os.pipe()
+    if not duplex:
+        return (Connection(r1, None, label=f"{label}.r"),
+                Connection(None, w1, label=f"{label}.w"))
+    r2, w2 = os.pipe()
+    return (Connection(r1, w2, label=f"{label}.a"),
+            Connection(r2, w1, label=f"{label}.b"))

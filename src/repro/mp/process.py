@@ -1,0 +1,161 @@
+"""Process: the UE-spawning construct (paper sections 2 and 5.1).
+
+A thin, honest ``fork``-based process object with the familiar
+``multiprocessing.Process`` surface.  ``start`` calls ``os.fork`` *by
+name*, which is exactly the interception point of the paper's Listing 4:
+when a Dionea is active, its augmented fork wraps the spawn with handler
+phases A/B/C, and the child announces its fresh debug server before the
+target function runs a single line.
+
+The child executes ``run()`` and leaves with ``os._exit`` — never
+returning into the parent's stack, never running the parent's atexit
+hooks (matching fork semantics, not emulating them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import sys
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..util.errors import PoolError
+
+_process_counter = itertools.count(1)
+_active_children: List["Process"] = []
+
+
+def active_children() -> List["Process"]:
+    """Started, not-yet-reaped children of the calling process."""
+    _reap()
+    return [p for p in _active_children if p.is_alive()]
+
+
+def _reap() -> None:
+    for proc in list(_active_children):
+        if proc.exitcode is not None:
+            _active_children.remove(proc)
+
+
+class Process:
+    """One forked unit of execution."""
+
+    def __init__(self, target: Optional[Callable] = None,
+                 args: Tuple = (), kwargs: Optional[Dict[str, Any]] = None,
+                 name: Optional[str] = None):
+        self._target = target
+        self._args = tuple(args)
+        self._kwargs = dict(kwargs or {})
+        self.name = name or f"Process-{next(_process_counter)}"
+        self.pid: Optional[int] = None
+        self._exitcode: Optional[int] = None
+        self._started = False
+
+    # -- child body --------------------------------------------------------------
+
+    def run(self) -> None:
+        """Override point, like multiprocessing.Process.run."""
+        if self._target is not None:
+            self._target(*self._args, **self._kwargs)
+
+    def _bootstrap(self) -> int:
+        try:
+            self.run()
+            return 0
+        except SystemExit as exc:
+            code = exc.code
+            if code is None:
+                return 0
+            return code if isinstance(code, int) else 1
+        except BaseException:  # noqa: BLE001 - report and die
+            traceback.print_exc()
+            return 1
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise PoolError(f"{self.name} already started")
+        self._started = True
+        pid = os.fork()  # the augmented fork, when a debugger is active
+        if pid == 0:
+            # Child.  Reset child bookkeeping that was inherited by copy.
+            del _active_children[:]
+            status = self._bootstrap()
+            # Flush before _exit: _exit skips interpreter shutdown.
+            try:
+                sys.stdout.flush()
+                sys.stderr.flush()
+            except Exception:  # noqa: BLE001
+                pass
+            os._exit(status)
+        self.pid = pid
+        _active_children.append(self)
+
+    def is_alive(self) -> bool:
+        if not self._started or self.pid is None:
+            return False
+        if self._exitcode is not None:
+            return False
+        self._poll()
+        return self._exitcode is None
+
+    def _poll(self) -> None:
+        if self.pid is None or self._exitcode is not None:
+            return
+        try:
+            pid, status = os.waitpid(self.pid, os.WNOHANG)
+        except ChildProcessError:
+            self._exitcode = -1  # reaped elsewhere; exit status unknown
+            return
+        if pid == self.pid:
+            self._exitcode = self._status_to_code(status)
+
+    @staticmethod
+    def _status_to_code(status: int) -> int:
+        if os.WIFSIGNALED(status):
+            return -os.WTERMSIG(status)
+        return os.WEXITSTATUS(status)
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        self._poll()
+        return self._exitcode
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the child to exit (poll + sleep keeps signals simple)."""
+        if not self._started:
+            raise PoolError(f"{self.name} not started")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.exitcode is None:
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(0.002)
+
+    def terminate(self) -> None:
+        self._signal(signal.SIGTERM)
+
+    def kill(self) -> None:
+        self._signal(signal.SIGKILL)
+
+    def _signal(self, signum: int) -> None:
+        if self.pid is None:
+            raise PoolError(f"{self.name} not started")
+        if self._exitcode is not None:
+            return
+        try:
+            os.kill(self.pid, signum)
+        except ProcessLookupError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self._started:
+            state = "initial"
+        elif self.exitcode is not None:
+            state = f"exited({self._exitcode})"
+        else:
+            state = f"started pid={self.pid}"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,198 @@
+"""Queues: the paper's "semaphore and a pipe" (section 6.3).
+
+*"the parent and the worker processes share the same input and output
+queues.  The queue is implemented using a semaphore and a pipe.
+Functions or methods to be executed by the child process are passed from
+parent to child via queues encoded using pickle."*
+
+:class:`Queue` is exactly that construction:
+
+* a **pipe** carries pickled frames (:mod:`repro.mp.reduction`);
+* an **items semaphore** counts readable frames, so ``get`` blocks on the
+  semaphore — never on a half-frame;
+* reader/writer **locks** (binary pipe semaphores) keep concurrent
+  ``get``/``put`` calls from interleaving frames;
+* an optional **slots semaphore** bounds capacity.
+
+:class:`ThreadQueue` is the *inter-thread* queue of section 6.2's Listing
+5 — a deliberately process-LOCAL object (like Ruby's ``Queue``) whose
+misuse across ``fork`` is the paper's showcase deadlock.  It reports its
+blocking waits to the deadlock detector so Dionea can display the exact
+line of the hang (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _stdlib_queue
+import threading
+from typing import Any, Optional
+
+from ..util.errors import QueueClosed
+from ..util.ids import UEId
+from . import reduction
+from .synchronize import Lock, Semaphore, _deadlock_graph
+
+
+class Queue:
+    """Inter-process FIFO: pipe + semaphore, pickle-encoded."""
+
+    _COUNTER = 0
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, maxsize: int = 0, name: Optional[str] = None):
+        with Queue._COUNTER_LOCK:
+            Queue._COUNTER += 1
+            seq = Queue._COUNTER
+        self.name = name or f"queue-{os.getpid()}-{seq}"
+        self._read_fd, self._write_fd = os.pipe()
+        self._items = Semaphore(0, name=f"{self.name}.items")
+        self._slots = (Semaphore(maxsize, name=f"{self.name}.slots")
+                       if maxsize > 0 else None)
+        self._rlock = Lock(name=f"{self.name}.rlock")
+        self._wlock = Lock(name=f"{self.name}.wlock")
+        self.maxsize = maxsize
+        self._closed = False
+        #: cumulative bytes through the pipe; read by the benchmarks.
+        self.bytes_sent = 0
+
+    # -- producing ----------------------------------------------------------------
+
+    def put(self, obj: Any, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        if self._closed:
+            raise QueueClosed(f"{self.name} is closed")
+        if self._slots is not None:
+            if not self._slots.acquire(blocking=block, timeout=timeout):
+                raise _stdlib_queue.Full(self.name)
+        payload = reduction.dumps(obj)
+        with self._wlock:
+            # Release the item token BEFORE writing the frame: a frame
+            # larger than the kernel pipe buffer can only complete once a
+            # reader starts draining, and readers gate on this semaphore.
+            # The token therefore means "a frame is committed and being
+            # written"; the pipe's own flow control does the rest.  A
+            # failure mid-write tears the frame stream, so the queue is
+            # poisoned (closed) rather than left misframed.
+            self._items.release()
+            try:
+                self.bytes_sent += reduction.send_payload(
+                    self._write_fd, payload)
+            except BaseException:
+                self._closed = True
+                raise
+
+    def put_nowait(self, obj: Any) -> None:
+        self.put(obj, block=False)
+
+    # -- consuming ----------------------------------------------------------------
+
+    def get(self, block: bool = True,
+            timeout: Optional[float] = None) -> Any:
+        if self._closed:
+            raise QueueClosed(f"{self.name} is closed")
+        # Blocking happens on the items semaphore, which reports the wait
+        # (with the user's source line) to the deadlock detector.
+        if not self._items.acquire(blocking=block, timeout=timeout):
+            raise _stdlib_queue.Empty(self.name)
+        try:
+            with self._rlock:
+                obj = reduction.recv_obj(self._read_fd)
+        except BaseException:
+            self._items.release()  # the frame is still in the pipe
+            raise
+        if self._slots is not None:
+            self._slots.release()
+        return obj
+
+    def get_nowait(self) -> Any:
+        return self.get(block=False)
+
+    # -- introspection --------------------------------------------------------------
+
+    def qsize(self) -> int:
+        """Approximate item count (exact between operations)."""
+        return self._items.value()
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+    def full(self) -> bool:
+        if self._slots is None:
+            return False
+        return self._slots.value() == 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for fd in (self._read_fd, self._write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._items.close()
+        if self._slots is not None:
+            self._slots.close()
+        self._rlock.close()
+        self._wlock.close()
+
+
+class ThreadQueue:
+    """Inter-thread queue with deadlock-detector instrumentation.
+
+    Equivalent to Ruby's ``Queue`` in Listing 5 — the comment there reads
+    *"Queue is inter-thread, not inter-process"*.  State lives in this
+    process's memory: after a fork the child gets a frozen copy whose
+    producers (other threads) do not exist, which is the paper's
+    intentional-deadlock scenario (section 6.2).
+    """
+
+    _COUNTER = 0
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, maxsize: int = 0, name: Optional[str] = None):
+        with ThreadQueue._COUNTER_LOCK:
+            ThreadQueue._COUNTER += 1
+            seq = ThreadQueue._COUNTER
+        self.name = name or f"tqueue-{os.getpid()}-{seq}"
+        self._queue: "_stdlib_queue.Queue" = _stdlib_queue.Queue(maxsize)
+
+    def put(self, obj: Any, block: bool = True,
+            timeout: Optional[float] = None) -> None:
+        if not block or not self._queue.full():
+            self._queue.put(obj, block=block, timeout=timeout)
+            return
+        graph = _deadlock_graph()
+        if graph is None:
+            self._queue.put(obj, block=True, timeout=timeout)
+            return
+        ue = UEId.current()
+        graph.add_wait(ue, self.name)
+        try:
+            self._queue.put(obj, block=True, timeout=timeout)
+        finally:
+            graph.clear_wait(ue)
+
+    def get(self, block: bool = True,
+            timeout: Optional[float] = None) -> Any:
+        if not block or not self._queue.empty():
+            return self._queue.get(block=block, timeout=timeout)
+        graph = _deadlock_graph()
+        if graph is None:
+            return self._queue.get(block=True, timeout=timeout)
+        ue = UEId.current()
+        graph.add_wait(ue, self.name)
+        try:
+            return self._queue.get(block=True, timeout=timeout)
+        finally:
+            graph.clear_wait(ue)
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    def empty(self) -> bool:
+        return self._queue.empty()
+
+    def full(self) -> bool:
+        return self._queue.full()

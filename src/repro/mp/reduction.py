@@ -1,0 +1,122 @@
+"""Binary framing and pickling for inter-process channels.
+
+Paper section 6.3 on the multiprocessing queue: *"Functions or methods to
+be executed by the child process are passed from parent to child via
+queues encoded using pickle."*  This module is that encoding layer: a
+4-byte big-endian length prefix followed by a pickle payload, written to
+raw file descriptors with full EINTR handling.
+
+This framing is intentionally identical in shape to the debugger's JSON
+framing (:mod:`repro.util.framing`) but separate in implementation: the
+debug channel must never unpickle (a debuggee could own the client),
+whereas the data plane between cooperating worker processes is exactly
+where pickle belongs.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import os
+import pickle
+import struct
+from typing import Any, Optional
+
+from ..util.errors import QueueClosed
+
+HEADER = struct.Struct(">I")
+#: Same ceiling as the debug protocol: a corrupt header must not OOM us.
+MAX_PAYLOAD = 256 * 1024 * 1024
+
+
+def dumps(obj: Any) -> bytes:
+    """Pickle *obj* with the highest protocol (what multiprocessing uses)."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads(data: bytes) -> Any:
+    return pickle.loads(data)
+
+
+def write_all(fd: int, data: bytes) -> None:
+    """Write every byte of *data* to *fd*, retrying on EINTR/short writes."""
+    view = memoryview(data)
+    while view:
+        try:
+            written = os.write(fd, view)
+        except InterruptedError:
+            continue
+        except OSError as exc:
+            if exc.errno == errno.EPIPE:
+                raise QueueClosed("peer closed the channel") from exc
+            raise
+        view = view[written:]
+
+
+def read_exact(fd: int, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes from *fd*.
+
+    Returns None on clean EOF at a frame boundary; raises
+    :class:`QueueClosed` on EOF mid-frame.
+    """
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            chunk = os.read(fd, n - len(buf))
+        except InterruptedError:
+            continue
+        if not chunk:
+            if not buf:
+                return None
+            raise QueueClosed(
+                f"channel closed mid-frame ({len(buf)}/{n} bytes)")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def send_obj(fd: int, obj: Any) -> int:
+    """Frame and write one object; returns bytes written (for benchmarks)."""
+    return send_payload(fd, dumps(obj))
+
+
+def send_payload(fd: int, payload: bytes) -> int:
+    """Frame and write pre-pickled bytes (callers that pickle early to
+    keep their critical sections short, e.g. Queue.put)."""
+    if len(payload) > MAX_PAYLOAD:
+        raise QueueClosed(f"payload too large: {len(payload)}")
+    frame = HEADER.pack(len(payload)) + payload
+    write_all(fd, frame)
+    return len(frame)
+
+
+def recv_obj(fd: int) -> Any:
+    """Read and unpickle one framed object.
+
+    Raises :class:`EOFError` on orderly end of stream (all writers
+    closed), matching multiprocessing.Connection semantics.
+    """
+    header = read_exact(fd, HEADER.size)
+    if header is None:
+        raise EOFError("channel exhausted")
+    (length,) = HEADER.unpack(header)
+    if length > MAX_PAYLOAD:
+        raise QueueClosed(f"incoming payload too large: {length}")
+    payload = read_exact(fd, length) if length else b""
+    if payload is None:
+        raise QueueClosed("channel closed between header and payload")
+    return loads(payload)
+
+
+class ForgivingPickler:
+    """Best-effort pickler used by error paths: wraps unpicklable results
+    so a worker can always report *something* back to its parent."""
+
+    @staticmethod
+    def safe_dumps(obj: Any) -> bytes:
+        try:
+            return dumps(obj)
+        except Exception:  # noqa: BLE001 - arbitrary user object
+            try:
+                return dumps(repr(obj))
+            except Exception:  # noqa: BLE001
+                return dumps("<unpicklable object>")

@@ -1,0 +1,173 @@
+"""Shared memory primitives: mmap-backed values and arrays.
+
+Rounds out the process substrate with the other standard IPC channel
+parallel Python programs use (``multiprocessing.Value``/``Array``): a
+page of anonymous shared memory (``mmap.MAP_SHARED | MAP_ANONYMOUS``)
+survives ``fork`` as the *same* physical memory in parent and children,
+so writes are visible both ways — unlike every ordinary Python object,
+which fork copies.
+
+These are the bytes the §6.2 lesson is about, inverted: an inter-thread
+``Queue`` silently *copies* across fork and deadlocks; a
+:class:`SharedValue` genuinely *shares*.  The unit tests pin both
+behaviours side by side.
+
+Atomicity: plain loads/stores of one slot are torn-free (single struct
+pack into a fixed offset) but read-modify-write is not atomic; a
+:class:`SharedCounter` composes a slot with a
+:class:`~repro.mp.synchronize.Lock` for cross-process increments.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import threading
+from typing import Iterable, Iterator, List, Optional
+
+from ..util.errors import ReproError
+from .synchronize import Lock
+
+#: supported typecodes → struct format (a deliberate, documented subset)
+_FORMATS = {
+    "q": "<q",   # signed 64-bit
+    "d": "<d",   # float64
+    "i": "<i",   # signed 32-bit
+    "B": "<B",   # unsigned byte
+}
+
+
+class SharedMemoryError(ReproError):
+    """Bad typecode, out-of-range index, or use after close."""
+
+
+class SharedValue:
+    """One typed slot in fork-shared memory."""
+
+    def __init__(self, typecode: str = "q", initial=0):
+        fmt = _FORMATS.get(typecode)
+        if fmt is None:
+            raise SharedMemoryError(
+                f"unsupported typecode {typecode!r}; "
+                f"choose from {sorted(_FORMATS)}")
+        self._struct = struct.Struct(fmt)
+        self._mmap = mmap.mmap(-1, max(self._struct.size, 1))
+        self._closed = False
+        self.typecode = typecode
+        self.set(initial)
+
+    def get(self):
+        if self._closed:
+            raise SharedMemoryError("shared value is closed")
+        return self._struct.unpack_from(self._mmap, 0)[0]
+
+    def set(self, value) -> None:
+        if self._closed:
+            raise SharedMemoryError("shared value is closed")
+        try:
+            self._struct.pack_into(self._mmap, 0, value)
+        except struct.error as exc:
+            raise SharedMemoryError(
+                f"value {value!r} does not fit typecode "
+                f"{self.typecode!r}") from exc
+
+    value = property(lambda self: self.get(),
+                     lambda self, v: self.set(v))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._mmap.close()
+
+
+class SharedArray:
+    """A fixed-length typed array in fork-shared memory."""
+
+    def __init__(self, typecode: str, size_or_init):
+        fmt = _FORMATS.get(typecode)
+        if fmt is None:
+            raise SharedMemoryError(
+                f"unsupported typecode {typecode!r}; "
+                f"choose from {sorted(_FORMATS)}")
+        self._struct = struct.Struct(fmt)
+        if isinstance(size_or_init, int):
+            length = size_or_init
+            initial: Optional[Iterable] = None
+        else:
+            initial = list(size_or_init)
+            length = len(initial)
+        if length <= 0:
+            raise SharedMemoryError("array length must be positive")
+        self.typecode = typecode
+        self._length = length
+        self._mmap = mmap.mmap(-1, self._struct.size * length)
+        self._closed = False
+        if initial is not None:
+            for i, value in enumerate(initial):
+                self[i] = value
+
+    def _offset(self, index: int) -> int:
+        if not isinstance(index, int):
+            raise SharedMemoryError("indices must be integers")
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise SharedMemoryError(
+                f"index {index} out of range [0, {self._length})")
+        return index * self._struct.size
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        if self._closed:
+            raise SharedMemoryError("shared array is closed")
+        return self._struct.unpack_from(self._mmap,
+                                        self._offset(index))[0]
+
+    def __setitem__(self, index: int, value) -> None:
+        if self._closed:
+            raise SharedMemoryError("shared array is closed")
+        try:
+            self._struct.pack_into(self._mmap, self._offset(index), value)
+        except struct.error as exc:
+            raise SharedMemoryError(
+                f"value {value!r} does not fit typecode "
+                f"{self.typecode!r}") from exc
+
+    def __iter__(self) -> Iterator:
+        return (self[i] for i in range(self._length))
+
+    def tolist(self) -> List:
+        return list(self)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._mmap.close()
+
+
+class SharedCounter:
+    """Cross-process atomic counter: shared slot + pipe-token lock."""
+
+    def __init__(self, initial: int = 0, name: Optional[str] = None):
+        self._value = SharedValue("q", initial)
+        self._lock = Lock(name=name or "shared-counter")
+
+    def increment(self, amount: int = 1) -> int:
+        """Atomically add *amount*; returns the new value."""
+        with self._lock:
+            new = self._value.get() + amount
+            self._value.set(new)
+            return new
+
+    def get(self) -> int:
+        return self._value.get()
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value.set(value)
+
+    def close(self) -> None:
+        self._value.close()
+        self._lock.close()

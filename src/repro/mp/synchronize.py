@@ -1,0 +1,321 @@
+"""Inter-process synchronization primitives built on pipe tokens.
+
+A POSIX pipe is the one kernel object every Unix gives us that (a) is
+shared across ``fork`` and (b) blocks readers when empty — which makes it
+a counting semaphore: the pipe holds one byte per available permit;
+``acquire`` reads a byte (blocking while there are none), ``release``
+writes one back.  ``Lock`` is the binary case; ``Event`` exploits the
+fact that *readability* of a pipe can be observed without consuming, so
+one written byte wakes every waiter (broadcast).
+
+All primitives integrate with the debugger when one is active:
+
+* their identity is reported to the **deadlock detector** around every
+  blocking acquire, with the *user* source line that blocked — this is
+  what lets Fig. 7 show "the exact place where the deadlock occurred";
+* ``Semaphore``/``Lock`` register for the **pre-fork ownership sweep**
+  only through their in-process mirrors where one exists; the pipe
+  token itself is fork-safe by construction (the permit lives in the
+  kernel buffer, not in either process's memory).
+"""
+
+from __future__ import annotations
+
+import array
+import errno
+import fcntl
+import os
+import select
+import sys
+import termios
+import threading
+import time
+from typing import Optional
+
+from ..util.errors import SyncObjectError
+from ..util.ids import UEId
+
+
+def _deadlock_graph():
+    from ..core.dionea import current_dionea  # late import: cycle
+    dionea = current_dionea()
+    return dionea.deadlock.graph if dionea is not None else None
+
+
+class _WaitScope:
+    """Context manager reporting a blocking wait to the deadlock graph.
+
+    Only the (UE, resource) pair is recorded — the blocked source line is
+    resolved lazily at report time from the thread's live frame
+    (repro.core.deadlock.resolve_wait_location), keeping this path cheap
+    enough to sit on every blocking acquire.
+    """
+
+    def __init__(self, resource: str):
+        self.resource = resource
+        self.graph = _deadlock_graph()
+        self.ue = UEId.current() if self.graph is not None else None
+
+    def __enter__(self) -> "_WaitScope":
+        if self.graph is not None:
+            self.graph.add_wait(self.ue, self.resource)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.graph is not None:
+            self.graph.clear_wait(self.ue)
+
+
+class Semaphore:
+    """Counting semaphore whose permits are bytes in a shared pipe."""
+
+    _COUNTER = 0
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, value: int = 1, name: Optional[str] = None):
+        if value < 0:
+            raise SyncObjectError("semaphore value must be >= 0")
+        with Semaphore._COUNTER_LOCK:
+            Semaphore._COUNTER += 1
+            seq = Semaphore._COUNTER
+        self.name = name or f"sem-{os.getpid()}-{seq}"
+        self._read_fd, self._write_fd = os.pipe()
+        os.set_blocking(self._read_fd, False)
+        if value:
+            os.write(self._write_fd, b"x" * value)
+        self._closed = False
+
+    # -- core protocol -----------------------------------------------------------
+
+    def acquire(self, blocking: bool = True,
+                timeout: Optional[float] = None) -> bool:
+        """Take one permit.  Returns False on timeout/non-blocking miss."""
+        if self._closed:
+            raise SyncObjectError(f"{self.name} is closed")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        reported = False
+        graph = None
+        try:
+            while True:
+                try:
+                    data = os.read(self._read_fd, 1)
+                    if data:
+                        return True
+                    raise SyncObjectError(f"{self.name}: pipe closed")
+                except BlockingIOError:
+                    pass
+                except InterruptedError:
+                    continue
+                if not blocking:
+                    return False
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                else:
+                    remaining = None
+                if not reported:
+                    graph = _deadlock_graph()
+                    if graph is not None:
+                        graph.add_wait(UEId.current(), self.name)
+                    reported = True
+                select.select([self._read_fd], [], [],
+                              remaining if remaining is not None
+                              else 0.5)
+        finally:
+            if reported and graph is not None:
+                graph.clear_wait(UEId.current())
+
+    def release(self, n: int = 1) -> None:
+        if self._closed:
+            raise SyncObjectError(f"{self.name} is closed")
+        if n < 1:
+            raise SyncObjectError("release count must be >= 1")
+        os.write(self._write_fd, b"x" * n)
+
+    def __enter__(self) -> "Semaphore":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- introspection -----------------------------------------------------------
+
+    def value(self) -> int:
+        """Current permit count (Linux FIONREAD on the pipe buffer)."""
+        if self._closed:
+            raise SyncObjectError(f"{self.name} is closed")
+        buf = array.array("i", [0])
+        fcntl.ioctl(self._read_fd, termios.FIONREAD, buf)
+        return buf[0]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for fd in (self._read_fd, self._write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def reinit(self, value: int) -> None:
+        """Rebuild with fresh pipes and *value* permits (child handler)."""
+        self.close()
+        self._read_fd, self._write_fd = os.pipe()
+        os.set_blocking(self._read_fd, False)
+        if value:
+            os.write(self._write_fd, b"x" * value)
+        self._closed = False
+
+
+class BoundedSemaphore(Semaphore):
+    """Semaphore that refuses to exceed its initial permit count."""
+
+    def __init__(self, value: int = 1, name: Optional[str] = None):
+        super().__init__(value, name=name)
+        self._bound = value
+
+    def release(self, n: int = 1) -> None:
+        if self.value() + n > self._bound:
+            raise SyncObjectError(
+                f"{self.name}: released above initial value {self._bound}")
+        super().release(n)
+
+
+class Lock(Semaphore):
+    """Binary semaphore with held/owner bookkeeping for diagnostics."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(1, name=name or None)
+        self._owner: Optional[UEId] = None
+
+    def acquire(self, blocking: bool = True,
+                timeout: Optional[float] = None) -> bool:
+        got = super().acquire(blocking=blocking, timeout=timeout)
+        if got:
+            self._owner = UEId.current()
+            graph = _deadlock_graph()
+            if graph is not None:
+                graph.add_hold(self._owner, self.name)
+        return got
+
+    def release(self, n: int = 1) -> None:
+        owner, self._owner = self._owner, None
+        super().release(n)
+        graph = _deadlock_graph()
+        if graph is not None and owner is not None:
+            graph.release_hold(owner, self.name)
+
+    @property
+    def locked_by(self) -> Optional[UEId]:
+        """Last known owner — advisory only (cross-process state lags)."""
+        return self._owner
+
+    def __enter__(self) -> "Lock":
+        self.acquire()
+        return self
+
+
+class Barrier:
+    """Cross-process cyclic barrier built from pipe-token semaphores.
+
+    Classic two-phase construction: an arrival counter (guarded by a
+    lock) plus a broadcast gate per generation.  Works across ``fork``
+    for the same reason the semaphores do — all state lives in shared
+    kernel pipe buffers, and :class:`SharedValue`-style counters are
+    replaced by token arithmetic:
+
+    * each arrival deposits one token into ``_arrivals``;
+    * the party that deposits the N-th token becomes the *releaser*: it
+      drains all N tokens and releases N permits on ``_gate``;
+    * everyone (including the releaser) takes one gate permit and
+      proceeds.  The gate is empty again afterwards, so the barrier is
+      reusable (cyclic).
+    """
+
+    def __init__(self, parties: int, name: Optional[str] = None):
+        if parties < 1:
+            raise SyncObjectError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name or f"barrier-{os.getpid()}-{id(self) & 0xffff}"
+        self._arrivals = Semaphore(0, name=f"{self.name}.arrivals")
+        self._gate = Semaphore(0, name=f"{self.name}.gate")
+        self._mutex = Semaphore(1, name=f"{self.name}.mutex")
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until *parties* UEs have arrived; True on release,
+        False on timeout (the barrier is then broken for this cycle)."""
+        self._arrivals.release()
+        with _WaitScope(self.name):
+            # Am I the releaser?  Check under the mutex: exactly one
+            # waiter can observe a full complement and drain it.
+            if not self._mutex.acquire(timeout=timeout):
+                return False
+            try:
+                if self._arrivals.value() >= self.parties:
+                    for _ in range(self.parties):
+                        self._arrivals.acquire()
+                    self._gate.release(self.parties)
+            finally:
+                self._mutex.release()
+            return self._gate.acquire(timeout=timeout)
+
+    def close(self) -> None:
+        self._arrivals.close()
+        self._gate.close()
+        self._mutex.close()
+
+
+class Event:
+    """Broadcast flag: one byte in a pipe wakes every selector.
+
+    ``wait`` observes readability without consuming, so any number of
+    waiters (in any process sharing the pipe) see a single ``set``.
+    """
+
+    _COUNTER = 0
+    _COUNTER_LOCK = threading.Lock()
+
+    def __init__(self, name: Optional[str] = None):
+        with Event._COUNTER_LOCK:
+            Event._COUNTER += 1
+            seq = Event._COUNTER
+        self.name = name or f"event-{os.getpid()}-{seq}"
+        self._read_fd, self._write_fd = os.pipe()
+        os.set_blocking(self._read_fd, False)
+        self._set_lock = threading.Lock()
+
+    def is_set(self) -> bool:
+        ready, _, _ = select.select([self._read_fd], [], [], 0)
+        return bool(ready)
+
+    def set(self) -> None:
+        with self._set_lock:
+            if not self.is_set():
+                os.write(self._write_fd, b"x")
+
+    def clear(self) -> None:
+        while True:
+            try:
+                if not os.read(self._read_fd, 64):
+                    return
+            except BlockingIOError:
+                return
+            except InterruptedError:
+                continue
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self.is_set():
+            return True
+        with _WaitScope(self.name):
+            ready, _, _ = select.select([self._read_fd], [], [], timeout)
+        return bool(ready)
+
+    def close(self) -> None:
+        for fd in (self._read_fd, self._write_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass

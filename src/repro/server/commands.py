@@ -1,0 +1,392 @@
+"""Debug-command dispatch table.
+
+Paper section 4: *"The client sends debug commands to the debugger
+server, such as set break point, continue, step, next and so on; the
+server receives commands from the client, executes them and sends
+appropriate responses."*
+
+Every handler is non-blocking: a ``resume`` releases the target UE's
+gate and returns immediately; it never waits for the UE to run.  This is
+what keeps the single listener thread responsive while any number of
+debuggee threads sit parked.
+"""
+
+from __future__ import annotations
+
+import linecache
+from typing import Any, Callable, Dict, TYPE_CHECKING
+
+from ..tracing.control import ResumeCommand
+from ..tracing.frames import capture_frame, evaluate_in_frame
+from ..util.errors import BreakpointError, CommandError, TraceError
+from ..util.ids import UEId, describe_ue
+from ..util.serde import render_value
+from . import protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .debugserver import DebugServer
+
+Handler = Callable[["DebugServer", Dict[str, Any]], Any]
+_HANDLERS: Dict[str, Handler] = {}
+
+
+def command(name: str) -> Callable[[Handler], Handler]:
+    def decorate(func: Handler) -> Handler:
+        _HANDLERS[name] = func
+        return func
+    return decorate
+
+
+def dispatch(server: "DebugServer", name: str,
+             args: Dict[str, Any]) -> Any:
+    handler = _HANDLERS.get(name)
+    if handler is None:
+        raise CommandError(f"unknown command {name!r}")
+    return handler(server, args)
+
+
+def known_commands():
+    return sorted(_HANDLERS)
+
+
+def _require_ue(args: Dict[str, Any]) -> UEId:
+    raw = args.get("ue")
+    if not isinstance(raw, dict):
+        raise CommandError("missing or invalid 'ue' argument")
+    return protocol.ue_from_wire(raw)
+
+
+# -- introspection ------------------------------------------------------------
+
+@command("info")
+def cmd_info(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    state = server.session.describe()
+    state["port"] = server.port
+    state["commands"] = known_commands()
+    return state
+
+
+@command("threads")
+def cmd_threads(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """The Processes-and-threads view (Fig. 2), for this process."""
+    parked = set(server.engine.controller.parked_ues())
+    out = []
+    for ue in server.engine.known_ues():
+        out.append({
+            "ue": protocol.ue_to_wire(ue),
+            "label": describe_ue(ue, server.session.main_thread_ident),
+            "parked": ue in parked,
+        })
+    return out
+
+
+# -- breakpoints -----------------------------------------------------------------
+
+@command("set_break")
+def cmd_set_break(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    file = args.get("file")
+    line = args.get("line")
+    if not isinstance(file, str) or not isinstance(line, int):
+        raise CommandError("set_break needs 'file' (str) and 'line' (int)")
+    bp = server.engine.breakpoints.add(
+        file, line,
+        condition=args.get("condition"),
+        temporary=bool(args.get("temporary", False)),
+        ignore_count=int(args.get("ignore_count", 0)))
+    return {"id": bp.id, "file": bp.file, "line": bp.line}
+
+
+@command("set_function_break")
+def cmd_set_function_break(server: "DebugServer",
+                           args: Dict[str, Any]) -> Any:
+    function = args.get("function")
+    if not isinstance(function, str):
+        raise CommandError("set_function_break needs 'function' (str)")
+    bp = server.engine.breakpoints.add_function(
+        function, condition=args.get("condition"),
+        temporary=bool(args.get("temporary", False)))
+    return {"id": bp.id, "function": function}
+
+
+@command("clear_break")
+def cmd_clear_break(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    bp_id = args.get("id")
+    if not isinstance(bp_id, int):
+        raise CommandError("clear_break needs 'id' (int)")
+    try:
+        server.engine.breakpoints.remove(bp_id)
+    except BreakpointError as exc:
+        raise CommandError(str(exc)) from exc
+    return {"removed": bp_id}
+
+
+@command("enable_break")
+def cmd_enable_break(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    bp_id = args.get("id")
+    if not isinstance(bp_id, int):
+        raise CommandError("enable_break needs 'id' (int)")
+    enabled = bool(args.get("enabled", True))
+    try:
+        server.engine.breakpoints.set_enabled(bp_id, enabled)
+    except BreakpointError as exc:
+        raise CommandError(str(exc)) from exc
+    return {"id": bp_id, "enabled": enabled}
+
+
+@command("breaks")
+def cmd_breaks(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    return server.engine.breakpoints.snapshot_state()
+
+
+# -- watchpoints --------------------------------------------------------------------
+
+@command("set_watch")
+def cmd_set_watch(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    expression = args.get("expression")
+    if not isinstance(expression, str):
+        raise CommandError("set_watch needs 'expression' (str)")
+    try:
+        watch = server.engine.watchpoints.add(expression)
+    except (BreakpointError, SyntaxError) as exc:
+        raise CommandError(str(exc)) from exc
+    return {"id": watch.id, "expression": watch.expression}
+
+
+@command("clear_watch")
+def cmd_clear_watch(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    watch_id = args.get("id")
+    if not isinstance(watch_id, int):
+        raise CommandError("clear_watch needs 'id' (int)")
+    try:
+        server.engine.watchpoints.remove(watch_id)
+    except BreakpointError as exc:
+        raise CommandError(str(exc)) from exc
+    return {"removed": watch_id}
+
+
+@command("watches")
+def cmd_watches(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    return server.engine.watchpoints.snapshot_state()
+
+
+@command("catch_exceptions")
+def cmd_catch_exceptions(server: "DebugServer",
+                         args: Dict[str, Any]) -> Any:
+    """Break at every raise (optionally filtered to named types)."""
+    enabled = bool(args.get("enabled", True))
+    only = args.get("only")
+    if only is not None and (
+            not isinstance(only, list)
+            or not all(isinstance(n, str) for n in only)):
+        raise CommandError("'only' must be a list of exception names")
+    server.engine.set_exception_breaks(enabled, only)
+    return {"catching": server.engine.exception_breaks,
+            "only": only}
+
+
+# -- execution control --------------------------------------------------------------
+
+@command("resume")
+def cmd_resume(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """continue / step / next / return / until on one parked UE."""
+    ue = _require_ue(args)
+    action = args.get("action", "continue")
+    if action not in ("continue", "step", "next", "return", "until"):
+        raise CommandError(f"unknown resume action {action!r}")
+    cmd = ResumeCommand(action=action, until_line=args.get("until_line"))
+    try:
+        server.engine.controller.release(ue, cmd)
+    except TraceError as exc:
+        raise CommandError(str(exc)) from exc
+    return {"resumed": protocol.ue_to_wire(ue), "action": action}
+
+
+@command("suspend")
+def cmd_suspend(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    ue = _require_ue(args)
+    server.engine.request_suspend(ue)
+    return {"suspend_requested": protocol.ue_to_wire(ue)}
+
+
+@command("suspend_all")
+def cmd_suspend_all(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Whole-program pause — the non-low-intrusive mode of section 4."""
+    server.engine.request_suspend_all()
+    return {"suspend_all": True}
+
+
+@command("resume_all")
+def cmd_resume_all(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    return {"released": server.engine.resume_all()}
+
+
+# -- stopped-UE inspection --------------------------------------------------------------
+
+@command("stack")
+def cmd_stack(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    ue = _require_ue(args)
+    capture = server.last_stop_for(ue)
+    if capture is None:
+        raise CommandError(f"{ue} is not stopped")
+    return capture
+
+
+@command("eval")
+def cmd_eval(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Shell `p expr`: evaluate in the parked UE's top frame."""
+    ue = _require_ue(args)
+    expression = args.get("expression")
+    if not isinstance(expression, str):
+        raise CommandError("eval needs 'expression' (str)")
+    frame = server.engine.paused_frame(ue)
+    if frame is None:
+        raise CommandError(f"{ue} is not stopped")
+    try:
+        value = evaluate_in_frame(frame, expression)
+    except Exception as exc:  # noqa: BLE001 - debuggee expression
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    return {"ok": True, "value": render_value(value)}
+
+
+@command("variables")
+def cmd_variables(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """The Variables view for a given frame of a parked UE."""
+    ue = _require_ue(args)
+    index = int(args.get("frame_index", 0))
+    frame = server.engine.paused_frame(ue)
+    if frame is None:
+        raise CommandError(f"{ue} is not stopped")
+    for _ in range(index):
+        if frame.f_back is None:
+            raise CommandError(f"frame index {index} out of range")
+        frame = frame.f_back
+    return capture_frame(frame, with_locals=True).to_wire()
+
+
+# -- source sync (the second data socket of section 4) --------------------------------
+
+@command("source")
+def cmd_source(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Ship source lines so the client's Source view matches the server's.
+
+    This is the source-synchronisation channel's one command; the client
+    issues it over the ``source``-role connection.
+    """
+    file = args.get("file")
+    if not isinstance(file, str):
+        raise CommandError("source needs 'file' (str)")
+    start = max(1, int(args.get("start", 1)))
+    end = int(args.get("end", start + 39))
+    if end < start:
+        raise CommandError("source range end < start")
+    linecache.checkcache(file)
+    lines = []
+    for lineno in range(start, end + 1):
+        text = linecache.getline(file, lineno)
+        if not text and lineno > start:
+            break
+        lines.append(text.rstrip("\n"))
+    return {"file": file, "start": start, "lines": lines}
+
+
+# -- debuggee I/O (Fig. 2's Output and Input windows) ----------------------------------
+
+@command("capture_output")
+def cmd_capture_output(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Toggle the stdout/stderr tee at runtime."""
+    enabled = bool(args.get("enabled", True))
+    if enabled:
+        server.output_capture.install()
+    else:
+        server.output_capture.uninstall()
+    return {"capturing": server.output_capture.installed}
+
+
+@command("output")
+def cmd_output(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Buffered debuggee output (optionally one stream)."""
+    stream = args.get("stream")
+    if stream not in (None, "stdout", "stderr"):
+        raise CommandError("stream must be 'stdout' or 'stderr'")
+    return {"capturing": server.output_capture.installed,
+            "text": server.output_capture.snapshot(stream)}
+
+
+@command("feed_input")
+def cmd_feed_input(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Write into the debuggee's stdin (installs the feed on first use)."""
+    text = args.get("text")
+    if not isinstance(text, str):
+        raise CommandError("feed_input needs 'text' (str)")
+    if not server.input_feed.installed:
+        server.input_feed.install()
+    return {"fed": server.input_feed.feed(text)}
+
+
+@command("close_input")
+def cmd_close_input(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """EOF the debuggee's stdin."""
+    server.input_feed.close_input()
+    return {"closed": True}
+
+
+# -- profiling and internals -----------------------------------------------------------
+
+@command("profile_start")
+def cmd_profile_start(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Start the low-intrusion sampling profiler (no trace functions)."""
+    from ..tracing.sampling import SamplingProfiler
+    interval = float(args.get("interval_ms", 5.0)) / 1000.0
+    if server.profiler is not None and server.profiler.running:
+        raise CommandError("profiler already running")
+    server.profiler = SamplingProfiler(interval=interval)
+    server.profiler.start()
+    return {"running": True, "interval_ms": interval * 1000}
+
+
+@command("profile_stop")
+def cmd_profile_stop(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    if server.profiler is None:
+        raise CommandError("profiler was never started")
+    server.profiler.stop()
+    return {"running": False,
+            "total_sweeps": server.profiler.total_samples}
+
+
+@command("profile_report")
+def cmd_profile_report(server: "DebugServer",
+                       args: Dict[str, Any]) -> Any:
+    if server.profiler is None:
+        raise CommandError("profiler was never started")
+    return server.profiler.to_wire(top=int(args.get("top", 20)))
+
+
+@command("debug_log")
+def cmd_debug_log(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """The debugger's own ring log — for debugging the debugger."""
+    from ..util.ringlog import GLOBAL_LOG
+    records = GLOBAL_LOG.snapshot()
+    limit = int(args.get("limit", 200))
+    return {"dropped": GLOBAL_LOG.dropped,
+            "records": [r.format() for r in records[-limit:]]}
+
+
+# -- modes and lifecycle ------------------------------------------------------------------
+
+@command("disturb")
+def cmd_disturb(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    enabled = bool(args.get("enabled", True))
+    server.set_disturb(enabled)
+    return {"disturb": enabled}
+
+
+@command("deadlock_report")
+def cmd_deadlock_report(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    return server.deadlock_report()
+
+
+@command("detach")
+def cmd_detach(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Let the debuggee run free; the server stays attachable."""
+    released = server.engine.controller.release_all()
+    return {"released": released}

@@ -1,0 +1,314 @@
+"""The debug server: the shim that lives inside every debuggee process.
+
+Paper section 4: *"In Dionea, each debuggee has its own debug server, the
+debug server is a shim to control the execution of the debuggee based on
+the commands sent by the client.  Both, debuggee and debug server run in
+the same process."*
+
+Composition:
+
+* a :class:`~repro.tracing.engine.TraceEngine` hooked into the
+  interpreter's tracing facility;
+* a :class:`~repro.server.listener.Listener` (the dedicated Reactor
+  thread) on an ephemeral TCP port;
+* a :class:`~repro.server.sessionstate.SessionState` (the Fig. 4
+  metadata block);
+* optional rendezvous through a :class:`~repro.util.portfile.PortFile`
+  so the client finds this server — the original process announces
+  itself the same way forked children do.
+
+The 1 server : 1 client invariant of section 4.1 is enforced at hello
+time: a second ``command``-role connection is refused, because *"two
+different clients could control the same debuggee at the same time,
+making it inconsistent"*.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..tracing.breakpoints import BreakpointStore
+from ..tracing.control import UEController
+from ..tracing.engine import TraceEngine
+from ..tracing.frames import StackCapture
+from ..util.errors import CommandError, ProtocolError, ReproError
+from ..util.ids import UEId
+from ..util.portfile import PortFile, PortRecord
+from ..util.ringlog import debug_event
+from . import protocol
+from .commands import dispatch
+from .listener import Listener
+from .sessionstate import SessionState
+from .sockets import Connection, ListenEndpoint
+
+
+class DebugServer:
+    """One process's debug server.  Construct, then :meth:`start`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 portfile: Optional[PortFile] = None,
+                 program: Optional[str] = None,
+                 park_timeout: Optional[float] = 60.0,
+                 disturb: Optional[object] = None,
+                 disturb_setter: Optional[Callable[[bool], None]] = None,
+                 deadlock_reporter: Optional[Callable[[], dict]] = None,
+                 capture_io: bool = False):
+        self.session = SessionState(program=program)
+        self.portfile = portfile
+        self._host = host
+        self._requested_port = port
+        self.engine = TraceEngine(
+            breakpoints=BreakpointStore(),
+            controller=UEController(),
+            on_stop=self._on_ue_stop,
+            on_resume=self._on_ue_resume,
+            disturb=disturb,
+            park_timeout=park_timeout,
+        )
+        self._deadlock_reporter = deadlock_reporter
+        self._disturb_setter = disturb_setter
+        # Fig. 2's Output/Input windows: a stdout/stderr tee plus a
+        # client-fed stdin, both optional (CLI `dionea run` enables them).
+        from .iocapture import InputFeed, OutputCapture
+        self._capture_io = capture_io
+        self.output_capture = OutputCapture(on_output=self._on_output)
+        self.input_feed = InputFeed()
+        self._endpoint: Optional[ListenEndpoint] = None
+        self._listener: Optional[Listener] = None
+        #: lazily created by the profile_start command
+        self.profiler = None
+        self._last_stops: Dict[UEId, dict] = {}
+        self._stops_lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def port(self) -> int:
+        if self._endpoint is None:
+            raise ReproError("server not started")
+        return self._endpoint.port
+
+    def start(self, install_tracing: bool = True,
+              announce: bool = True) -> None:
+        if self._started:
+            raise ReproError("debug server already started")
+        self._endpoint = ListenEndpoint(self._host, self._requested_port)
+        self._listener = Listener(
+            self._endpoint,
+            on_request=self._handle_request,
+            on_hello=self._handle_hello,
+            on_disconnect=self._handle_disconnect,
+        )
+        self._listener.start()
+        if install_tracing and not self.engine.installed:
+            self.engine.install()
+        if self._capture_io and not self.output_capture.installed:
+            self.output_capture.install()
+        self._started = True
+        if announce and self.portfile is not None:
+            self.announce()
+        debug_event("server", f"debug server up on port {self.port}")
+
+    def announce(self) -> None:
+        """Write this server's coordinates into the rendezvous file."""
+        if self.portfile is None:
+            raise ReproError("no portfile configured")
+        self.portfile.announce(PortRecord(
+            pid=self.session.pid,
+            parent_pid=self.session.parent_pid,
+            host=self._host,
+            port=self.port,
+            created_at=time.time(),
+        ))
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        if self.profiler is not None and self.profiler.running:
+            self.profiler.stop()
+        if self.output_capture.installed:
+            self.output_capture.uninstall()
+        if self.input_feed.installed:
+            self.input_feed.uninstall()
+        if self.engine.installed:
+            self.engine.uninstall()
+        if self._listener is not None:
+            self._listener.broadcast_event(
+                protocol.make_event(protocol.EV_SERVER_EXIT,
+                                    {"pid": self.session.pid}))
+            self._listener.close()
+            self._listener = None
+        self._endpoint = None
+        debug_event("server", "debug server closed")
+
+    def __enter__(self) -> "DebugServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- connection policy ----------------------------------------------------------
+
+    def _handle_hello(self, conn: Connection, hello: dict) -> None:
+        if (conn.role == protocol.ROLE_COMMAND
+                and self._listener is not None):
+            existing = [c for c in self._listener.connections(
+                protocol.ROLE_COMMAND) if c is not conn]
+            if existing:
+                # 1 server : 1 client (paper section 4.1).
+                conn.send(protocol.make_error(
+                    -1, "another client already controls this debuggee",
+                    kind="SessionError"))
+                conn.close()
+                raise ProtocolError("second command client refused")
+        conn.send(protocol.make_hello_ack(
+            pid=self.session.pid,
+            parent_pid=self.session.parent_pid,
+            program=self.session.program,
+            main_thread=self.session.main_thread_ident,
+        ))
+        if conn.role == protocol.ROLE_COMMAND:
+            # Replay stops that happened before the client connected — a
+            # forked child may hit an inherited breakpoint in the window
+            # between its announce and the client's dial (Fig. 6).
+            with self._stops_lock:
+                replay = list(self._last_stops.items())
+            for ue, wire in replay:
+                conn.send(protocol.make_event(
+                    protocol.EV_STOPPED,
+                    {"ue": protocol.ue_to_wire(ue), "capture": wire,
+                     "session_token": self.session.session_token}))
+
+    def _handle_disconnect(self, conn: Connection) -> None:
+        if conn.role == protocol.ROLE_COMMAND:
+            # The client is gone: nothing will ever release parked UEs, so
+            # set them free (debugging ends, the program survives).
+            released = self.engine.controller.release_all()
+            if released:
+                debug_event("server",
+                            f"client vanished; released {released} UEs")
+
+    # -- request dispatch ---------------------------------------------------------------
+
+    def _handle_request(self, conn: Connection, message: dict) -> None:
+        request_id = message["id"]
+        try:
+            result = dispatch(self, message["command"], message["args"])
+        except CommandError as exc:
+            conn.send(protocol.make_error(request_id, str(exc)))
+            return
+        conn.send(protocol.make_response(request_id, result))
+
+    # -- engine callbacks ------------------------------------------------------------------
+
+    def _on_ue_stop(self, ue: UEId, capture: StackCapture) -> None:
+        wire = capture.to_wire()
+        with self._stops_lock:
+            self._last_stops[ue] = wire
+        if self._listener is not None:
+            self._listener.broadcast_event(protocol.make_event(
+                protocol.EV_STOPPED,
+                {"ue": protocol.ue_to_wire(ue), "capture": wire,
+                 "session_token": self.session.session_token}))
+
+    def _on_ue_resume(self, ue: UEId) -> None:
+        with self._stops_lock:
+            self._last_stops.pop(ue, None)
+        if self._listener is not None:
+            self._listener.broadcast_event(protocol.make_event(
+                protocol.EV_RESUMED,
+                {"ue": protocol.ue_to_wire(ue),
+                 "session_token": self.session.session_token}))
+
+    def last_stop_for(self, ue: UEId) -> Optional[dict]:
+        with self._stops_lock:
+            return self._last_stops.get(ue)
+
+    def _on_output(self, stream: str, text: str) -> None:
+        """Tee callback: forward a debuggee write to the client."""
+        if self._listener is not None:
+            self._listener.broadcast_event(protocol.make_event(
+                protocol.EV_OUTPUT,
+                {"pid": self.session.pid, "stream": stream,
+                 "text": text}))
+
+    # -- optional facilities used by the command table --------------------------------------
+
+    def set_disturb(self, enabled: bool) -> None:
+        """Toggled by the `disturb` command; wired by the Dionea facade."""
+        if self._disturb_setter is None:
+            raise CommandError("disturb mode not configured on this server")
+        self._disturb_setter(enabled)
+
+    def deadlock_report(self) -> dict:
+        if self._deadlock_reporter is None:
+            return {"available": False, "cycles": []}
+        return self._deadlock_reporter()
+
+    def emit_event(self, event: str, payload: dict) -> None:
+        """Used by the facade (fork announcements, deadlock alerts)."""
+        if self._listener is not None:
+            self._listener.broadcast_event(protocol.make_event(event, payload))
+
+    # -- fork support -----------------------------------------------------------------------
+
+    def reinit_after_fork(self) -> None:
+        """Fork handler phase C, server part (paper section 5.4 C).
+
+        Close the *inherited* sockets (they belong to the parent's
+        session — Fig. 5), rebuild the metadata block for the child
+        (Fig. 4), open a fresh endpoint, start a fresh listener thread,
+        and announce the new server through the port file (Fig. 6).
+        """
+        # 1. Drop inherited sockets.  Closing our descriptor copies does
+        #    not disturb the parent — but shutdown(2) WOULD (it acts on
+        #    the shared socket), so inherited connections are closed
+        #    without shutdown.
+        if self._listener is not None:
+            # The listener *thread* did not survive the fork; only its
+            # data structures did.  Close the connection and endpoint fds.
+            for conn in list(self._listener.connections()):
+                conn.close(shutdown=False)
+            self._listener.endpoint.close()
+            self._listener = None
+        elif self._endpoint is not None:
+            self._endpoint.close()
+        self._endpoint = None
+
+        # 2. Rewrite the metadata block with child identity.
+        self.session.rewrite_for_child()
+        with self._stops_lock:
+            self._last_stops.clear()
+        self.output_capture.reset_after_fork()
+
+        # 3. Fresh endpoint + listener thread ("create a listener thread").
+        self._endpoint = ListenEndpoint(self._host, 0)
+        self._listener = Listener(
+            self._endpoint,
+            on_request=self._handle_request,
+            on_hello=self._handle_hello,
+            on_disconnect=self._handle_disconnect,
+        )
+        self._listener.start()
+
+        # 4. Inform the client about the creation of a new debuggee.
+        if self.portfile is not None:
+            self.announce()
+        debug_event("server",
+                    f"child server re-established on port {self.port}")
+
+    def record_child(self, pid: int) -> None:
+        """Parent side: track forked child and tell the client (Fig. 1)."""
+        self.session.record_child(pid)
+        self.emit_event(protocol.EV_PROCESS_FORKED,
+                        {"parent_pid": self.session.pid, "child_pid": pid})

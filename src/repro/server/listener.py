@@ -1,0 +1,193 @@
+"""The dedicated listener thread — a Reactor-pattern event loop.
+
+Paper section 4: *"each debug server has a dedicated listener thread to
+receive requests and send responses from and to the client; this
+dedicated thread handles the requests asynchronously, treating each
+request as an event dispatched by a loop.  The implementation of this
+listener thread is inspired by the Reactor pattern."*
+
+The loop multiplexes the accept socket and every live connection with
+``selectors``.  Handlers (accept, hello, request dispatch) run inline in
+the loop and must not block — debug commands are designed to be
+non-blocking (``continue`` releases a gate; it never waits for the UE).
+
+The listener is restarted from scratch in forked children (fork handler
+phase C: *"create a listener thread"*): threads do not survive fork, so
+the child builds a brand-new :class:`Listener` on a brand-new socket.
+"""
+
+from __future__ import annotations
+
+import selectors
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..util.errors import FramingError, ProtocolError
+from ..util.ringlog import debug_event
+from . import protocol
+from .sockets import Connection, ListenEndpoint
+
+
+class Listener:
+    """Reactor loop over one listen endpoint and its connections."""
+
+    def __init__(self, endpoint: ListenEndpoint,
+                 on_request: Callable[[Connection, dict], None],
+                 on_hello: Optional[Callable[[Connection, dict], None]] = None,
+                 on_disconnect: Optional[Callable[[Connection], None]] = None):
+        self.endpoint = endpoint
+        self.on_request = on_request
+        self.on_hello = on_hello
+        self.on_disconnect = on_disconnect
+        self._selector = selectors.DefaultSelector()
+        self._connections: List[Connection] = []
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = threading.Event()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise ProtocolError("listener already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=f"dionea-listener-{self.endpoint.port}",
+            daemon=True)
+        self._thread.start()
+        self._started.wait(5.0)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+        self._thread = None
+
+    def close(self) -> None:
+        self.stop()
+        with self._lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            conn.close()
+        self.endpoint.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    def connections(self, role: Optional[str] = None) -> List[Connection]:
+        with self._lock:
+            conns = [c for c in self._connections if not c.closed]
+            if role is not None:
+                conns = [c for c in conns if c.role == role]
+            return conns
+
+    def command_connection(self) -> Optional[Connection]:
+        conns = self.connections(role=protocol.ROLE_COMMAND)
+        return conns[0] if conns else None
+
+    def broadcast_event(self, message: dict,
+                        role: str = protocol.ROLE_COMMAND) -> int:
+        """Send an event to every connection with *role*; returns count."""
+        sent = 0
+        for conn in self.connections(role=role):
+            if conn.send(message):
+                sent += 1
+        return sent
+
+    # -- the loop -------------------------------------------------------------------
+
+    def _run(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        try:
+            self._selector.register(self.endpoint, selectors.EVENT_READ,
+                                    data="accept")
+        except (OSError, ValueError):
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            while not self._stop.is_set():
+                events = self._selector.select(timeout=0.05)
+                for key, _mask in events:
+                    if key.data == "accept":
+                        self._handle_accept()
+                    else:
+                        self._handle_readable(key.data)
+        finally:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+
+    def _handle_accept(self) -> None:
+        try:
+            conn = self.endpoint.accept()
+        except OSError:
+            return
+        conn.sock.setblocking(False)
+        with self._lock:
+            self._connections.append(conn)
+        try:
+            self._selector.register(conn, selectors.EVENT_READ, data=conn)
+        except (KeyError, ValueError):
+            conn.close()
+            return
+        debug_event("listener", f"accepted connection from {conn.address}")
+
+    def _drop(self, conn: Connection) -> None:
+        try:
+            self._selector.unregister(conn)
+        except (KeyError, ValueError):
+            pass
+        with self._lock:
+            if conn in self._connections:
+                self._connections.remove(conn)
+        conn.close()
+        if self.on_disconnect is not None:
+            try:
+                self.on_disconnect(conn)
+            except Exception:  # noqa: BLE001
+                debug_event("listener", "on_disconnect handler failed")
+
+    def _handle_readable(self, conn: Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._drop(conn)
+            return
+        if not data:
+            self._drop(conn)
+            return
+        conn.decoder.feed(data)
+        try:
+            for message in conn.decoder.messages():
+                self._handle_message(conn, message)
+        except (FramingError, ProtocolError) as exc:
+            debug_event("listener",
+                        f"protocol error from {conn.address}: {exc}")
+            self._drop(conn)
+
+    def _handle_message(self, conn: Connection, message: dict) -> None:
+        if conn.awaiting_hello:
+            conn.adopt_role(message)  # raises ProtocolError on bad hello
+            if self.on_hello is not None:
+                self.on_hello(conn, message)
+            return
+        protocol.validate_request(message)
+        try:
+            self.on_request(conn, message)
+        except Exception as exc:  # noqa: BLE001 - reactor must survive
+            debug_event("listener", f"request handler raised {exc!r}")
+            conn.send(protocol.make_error(
+                message.get("id", -1),
+                f"internal error: {type(exc).__name__}: {exc}",
+                kind="InternalError"))

@@ -1,0 +1,135 @@
+"""Wire-protocol message shapes shared by debug server and client.
+
+Paper section 4: *"Server and client interact through a predefined
+protocol using TCP/IP"*.  Three kinds of messages flow over the framed
+transport (:mod:`repro.util.framing`):
+
+* **requests**  — client → server; carry a monotonically increasing id
+  the response must echo, a command name and a JSON argument object;
+* **responses** — server → client; ``ok`` plus ``result`` or ``error``;
+* **events**    — server → client, unsolicited (stopped, resumed, thread
+  started, debuggee output, deadlock report, ...).
+
+The first frame on every new connection is a **hello** naming the
+connection's role — this is how one listening socket yields the paper's
+three-socket layout (one listener + one command channel + one
+source-sync channel, section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..util.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+ROLE_COMMAND = "command"
+ROLE_SOURCE = "source"
+VALID_ROLES = (ROLE_COMMAND, ROLE_SOURCE)
+
+# Event names.
+EV_STOPPED = "stopped"
+EV_RESUMED = "resumed"
+EV_THREAD_STARTED = "thread_started"
+EV_PROCESS_FORKED = "process_forked"
+EV_OUTPUT = "output"
+EV_DEADLOCK = "deadlock"
+EV_SERVER_EXIT = "server_exit"
+
+
+def make_hello(role: str, pid: int, session_token: str,
+               program: Optional[str] = None) -> Dict[str, Any]:
+    if role not in VALID_ROLES:
+        raise ProtocolError(f"invalid role {role!r}")
+    return {
+        "type": "hello",
+        "version": PROTOCOL_VERSION,
+        "role": role,
+        "pid": pid,
+        "session_token": session_token,
+        "program": program,
+    }
+
+
+def make_hello_ack(pid: int, parent_pid: int, program: Optional[str],
+                   main_thread: int) -> Dict[str, Any]:
+    return {
+        "type": "hello_ack",
+        "version": PROTOCOL_VERSION,
+        "pid": pid,
+        "parent_pid": parent_pid,
+        "program": program,
+        "main_thread": main_thread,
+    }
+
+
+def make_request(request_id: int, command: str,
+                 args: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    return {
+        "type": "request",
+        "id": request_id,
+        "command": command,
+        "args": args or {},
+    }
+
+
+def make_response(request_id: int, result: Any = None) -> Dict[str, Any]:
+    return {"type": "response", "id": request_id, "ok": True,
+            "result": result}
+
+
+def make_error(request_id: int, message: str,
+               kind: str = "CommandError") -> Dict[str, Any]:
+    return {"type": "response", "id": request_id, "ok": False,
+            "error": {"kind": kind, "message": message}}
+
+
+def make_event(event: str, payload: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+    return {"type": "event", "event": event, "payload": payload or {}}
+
+
+def message_type(message: Any) -> str:
+    """Validate the envelope and return its type."""
+    if not isinstance(message, dict):
+        raise ProtocolError(f"message must be an object, got "
+                            f"{type(message).__name__}")
+    mtype = message.get("type")
+    if mtype not in ("hello", "hello_ack", "request", "response", "event"):
+        raise ProtocolError(f"unknown message type {mtype!r}")
+    return mtype
+
+
+def validate_request(message: Dict[str, Any]) -> None:
+    if message_type(message) != "request":
+        raise ProtocolError("expected a request")
+    if not isinstance(message.get("id"), int):
+        raise ProtocolError("request id must be an int")
+    if not isinstance(message.get("command"), str) or not message["command"]:
+        raise ProtocolError("request command must be a non-empty string")
+    if not isinstance(message.get("args"), dict):
+        raise ProtocolError("request args must be an object")
+
+
+def validate_hello(message: Dict[str, Any]) -> None:
+    if message_type(message) != "hello":
+        raise ProtocolError("expected a hello")
+    if message.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: server {PROTOCOL_VERSION}, "
+            f"client {message.get('version')!r}")
+    if message.get("role") not in VALID_ROLES:
+        raise ProtocolError(f"invalid role {message.get('role')!r}")
+
+
+def ue_to_wire(ue) -> Dict[str, int]:
+    return {"pid": ue.pid, "tid": ue.tid}
+
+
+def ue_from_wire(raw: Dict[str, Any]):
+    from ..util.ids import UEId
+    try:
+        return UEId(pid=int(raw["pid"]), tid=int(raw["tid"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad ue: {raw!r}") from exc

@@ -1,0 +1,78 @@
+"""Debuggee-side session state — the metadata block of paper Fig. 4.
+
+Figure 4 shows the debuggee's *data structures* block: debug session,
+breakpoint information, PID, and so on.  A forked child inherits this
+block verbatim and must rewrite it (section 5.3, problem 2: *"These data
+structures don't contain child information but parent information,
+therefore they should be updated with child's information"*).
+
+:meth:`SessionState.rewrite_for_child` is that rewrite, called from the
+child fork handler.  The before/after of Fig. 4 is directly testable:
+after a fork, the child state differs from the parent exactly in pid,
+parent pid, session token, main-thread id and socket bookkeeping, while
+breakpoints (shared debugging intent) survive.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def new_session_token() -> str:
+    """Unguessable per-process token; doubles as the session identity the
+    client uses to tell a parent's channel from its child's."""
+    return uuid.uuid4().hex
+
+
+@dataclass
+class SessionState:
+    """One debuggee process's identity and bookkeeping."""
+
+    pid: int = field(default_factory=os.getpid)
+    parent_pid: int = field(default_factory=os.getppid)
+    session_token: str = field(default_factory=new_session_token)
+    program: Optional[str] = None
+    main_thread_ident: int = field(
+        default_factory=lambda: threading.main_thread().ident or 0)
+    created_at: float = field(default_factory=time.monotonic)
+    #: pids of children this process forked (paper Listing 4 appends to
+    #: ``_processes``); purely informational for the client's tree view.
+    children: List[int] = field(default_factory=list)
+    #: generation 0 = the original debuggee, +1 per fork hop.
+    fork_generation: int = 0
+
+    def record_child(self, pid: int) -> None:
+        if pid not in self.children:
+            self.children.append(pid)
+
+    def rewrite_for_child(self) -> None:
+        """Apply the child's identity in place (fork handler C).
+
+        The forking thread is the child's new main thread (section 5.3:
+        "register the thread that called fork as the main thread").
+        """
+        old_pid = self.pid
+        self.pid = os.getpid()
+        self.parent_pid = old_pid
+        self.session_token = new_session_token()
+        self.main_thread_ident = threading.get_ident()
+        self.created_at = time.monotonic()
+        self.children = []
+        self.fork_generation += 1
+
+    def describe(self) -> Dict[str, object]:
+        """Wire-ready summary for the client's Processes-and-threads view."""
+        return {
+            "pid": self.pid,
+            "parent_pid": self.parent_pid,
+            "session_token": self.session_token,
+            "program": self.program,
+            "main_thread": self.main_thread_ident,
+            "children": list(self.children),
+            "fork_generation": self.fork_generation,
+        }

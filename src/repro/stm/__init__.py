@@ -1,0 +1,18 @@
+"""Software TM + transaction-safe debugging (the paper's §9 extension)."""
+
+from .debug import MONITOR, TransactionMonitor, TxProfile
+from .engine import (
+    STMError,
+    Transaction,
+    TVar,
+    TxStats,
+    atomically,
+    current_transaction,
+    thread_stats,
+)
+
+__all__ = [
+    "MONITOR", "TransactionMonitor", "TxProfile",
+    "STMError", "Transaction", "TVar", "TxStats", "atomically",
+    "current_transaction", "thread_stats",
+]

@@ -1,0 +1,238 @@
+"""Software transactional memory — the paper's §9 future-work direction.
+
+Paper section 9: *"There is previous research on debugging programs that
+use Hardware Transactional Memory ... and it has been proved that is
+possible to eliminate the GVL of CRuby using HTM.  These facts suggest
+that it would be possible to add support in Dionea for debugging
+parallel Ruby programs that use HTM instead of GIL."*
+
+This container has no HTM (and CPython no GIL-elision build), so per the
+substitution rule the closest software equivalent is implemented: a
+TL2-style **software** TM — global version clock, per-TVar versioned
+locks, optimistic read sets validated at commit, buffered write sets —
+which exhibits exactly the property that makes TM debugging hard and
+that Dionea integration must handle (see :mod:`repro.stm.debug`):
+**stopping inside a transaction invalidates it**, so the debugger must
+stop at transaction *boundaries*.
+
+Usage::
+
+    from repro.stm import TVar, atomically
+
+    balance_a, balance_b = TVar(100), TVar(0)
+
+    def transfer(amount):
+        def body(tx):
+            a = tx.read(balance_a)
+            if a < amount:
+                return False
+            tx.write(balance_a, a - amount)
+            tx.write(balance_b, tx.read(balance_b) + amount)
+            return True
+        return atomically(body)
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TypeVar
+
+from ..util.errors import ReproError
+
+T = TypeVar("T")
+
+
+class STMError(ReproError):
+    """Illegal STM usage (nested atomics, reads outside a transaction...)."""
+
+
+class _Retry(Exception):
+    """Internal control flow: the transaction must restart."""
+
+    def __init__(self, tvar: Optional["TVar"] = None):
+        self.tvar = tvar
+
+
+#: Global version clock (TL2's "GV").  Incremented on every commit.
+_clock_lock = threading.Lock()
+_clock = 0
+
+
+def _read_clock() -> int:
+    return _clock
+
+
+def _advance_clock() -> int:
+    global _clock
+    with _clock_lock:
+        _clock += 1
+        return _clock
+
+
+_tvar_ids = itertools.count(1)
+
+
+class TVar:
+    """A transactional variable: versioned value + a short-held lock."""
+
+    __slots__ = ("_id", "name", "_value", "_version", "_lock")
+
+    def __init__(self, value: T = None, name: Optional[str] = None):
+        self._id = next(_tvar_ids)
+        self.name = name or f"tvar-{self._id}"
+        self._value = value
+        self._version = 0
+        self._lock = threading.Lock()
+
+    # -- unsynchronised peeks (tests, debugger Variables view) ---------------
+
+    def peek(self) -> T:
+        """Racy read outside any transaction (diagnostics only)."""
+        return self._value
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TVar {self.name} v{self._version}>"
+
+
+@dataclass
+class TxStats:
+    """Per-thread transaction accounting (read by repro.stm.debug)."""
+
+    commits: int = 0
+    aborts: int = 0
+    #: aborts of the currently-running attempt streak
+    streak: int = 0
+    last_conflict: Optional[str] = None
+
+
+class Transaction:
+    """One attempt: optimistic read set + buffered write set."""
+
+    def __init__(self, read_version: int):
+        self._read_version = read_version
+        self._reads: Dict[TVar, int] = {}
+        self._writes: Dict[TVar, Any] = {}
+        self.active = True
+
+    # -- the API transaction bodies use ---------------------------------------
+
+    def read(self, tvar: TVar) -> Any:
+        if not self.active:
+            raise STMError("read on a finished transaction")
+        if tvar in self._writes:
+            return self._writes[tvar]
+        # TL2 read: value + version, consistent against the read stamp.
+        while True:
+            v0 = tvar._version
+            value = tvar._value
+            if tvar._lock.locked() or tvar._version != v0:
+                continue  # torn read: someone is committing; spin briefly
+            if v0 > self._read_version:
+                raise _Retry(tvar)  # world moved on: restart
+            self._reads[tvar] = v0
+            return value
+
+    def write(self, tvar: TVar, value: Any) -> None:
+        if not self.active:
+            raise STMError("write on a finished transaction")
+        self._writes[tvar] = value
+
+    def retry(self) -> None:
+        """Explicit programmer-requested restart."""
+        raise _Retry(None)
+
+    # -- commit (engine-internal) ------------------------------------------------
+
+    def _commit(self) -> bool:
+        """Lock write set (in id order — no lock-order deadlocks),
+        validate read set, publish, bump the clock."""
+        self.active = False
+        if not self._writes:
+            # Read-only transaction: validate reads still current.
+            for tvar, seen_version in self._reads.items():
+                if tvar._version != seen_version or tvar._lock.locked():
+                    return False
+            return True
+
+        locked: List[TVar] = []
+        try:
+            for tvar in sorted(self._writes, key=lambda t: t._id):
+                if not tvar._lock.acquire(timeout=0.5):
+                    return False
+                locked.append(tvar)
+            for tvar, seen_version in self._reads.items():
+                if tvar._version != seen_version:
+                    return False
+                if tvar._lock.locked() and tvar not in self._writes:
+                    return False
+            write_version = _advance_clock()
+            for tvar, value in self._writes.items():
+                tvar._value = value
+                tvar._version = write_version
+            return True
+        finally:
+            for tvar in locked:
+                tvar._lock.release()
+
+
+_tls = threading.local()
+
+
+def current_transaction() -> Optional[Transaction]:
+    return getattr(_tls, "tx", None)
+
+
+def thread_stats() -> TxStats:
+    stats = getattr(_tls, "stats", None)
+    if stats is None:
+        stats = TxStats()
+        _tls.stats = stats
+    return stats
+
+
+def atomically(body: Callable[[Transaction], T],
+               max_attempts: int = 1_000_000) -> T:
+    """Run *body* transactionally: retried until it commits.
+
+    The debugger hook (:mod:`repro.stm.debug`) is consulted at every
+    **boundary** — after an abort, before the retry — because that is
+    the only safe stopping point for transactional code (a stop inside
+    the attempt would abort it; the paper's §9 references [33, 7] make
+    precisely this observation for HTM).
+    """
+    if current_transaction() is not None:
+        raise STMError("nested atomically() is not supported; "
+                       "compose inside one transaction body")
+    from .debug import boundary_hook  # late: optional debugger glue
+
+    stats = thread_stats()
+    attempts = 0
+    while attempts < max_attempts:
+        attempts += 1
+        tx = Transaction(_read_clock())
+        _tls.tx = tx
+        try:
+            result = body(tx)
+            if tx._commit():
+                stats.commits += 1
+                stats.streak = 0
+                boundary_hook("commit", stats, None)
+                return result
+            conflict = None
+        except _Retry as retry:
+            conflict = retry.tvar
+        finally:
+            _tls.tx = None
+            tx.active = False
+        stats.aborts += 1
+        stats.streak += 1
+        stats.last_conflict = conflict.name if conflict is not None else None
+        boundary_hook("abort", stats, conflict)
+    raise STMError(f"transaction failed to commit in {max_attempts} "
+                   f"attempts")

@@ -1,0 +1,468 @@
+"""The trace engine: Dionea's debug-server core, built on ``sys.settrace``.
+
+Paper section 4: *"The debug server traces debuggee's execution using
+custom functions in conjunction with the tracing facilities provided by
+the interpreters, i.e. ... sys.settrace for ... Python."*
+
+Responsibilities:
+
+* install/remove the interpreter trace hook for the current and all
+  future threads;
+* on each event decide — cheaply — whether the frame needs a local trace
+  function at all (the no-breakpoint fast path that keeps section 7's
+  overhead in the 10-20 % band);
+* stop UEs at breakpoints, step targets, asynchronous suspend requests
+  and disturb-mode birth events, parking only the stopping thread
+  (low intrusion, footnote 1);
+* expose ``disable``/``enable`` used by fork handler phases A and B/C
+  (*"Disable the tracing until the listener thread is restarted, to avoid
+  a deadlock in the child process"*, section 5.4).
+
+Asynchronous suspend of an already-running thread works by injecting a
+local trace function into that thread's live frames via
+``sys._current_frames()`` — the same mechanism IDE debuggers use — so a
+thread spinning in a long loop still honours a pause request at its next
+line event.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from ..util.errors import TraceError
+from ..util.ids import UEId
+from ..util.ringlog import debug_event
+from .breakpoints import BreakpointStore, canonical_file
+from .control import ResumeCommand, UEController
+from .frames import StackCapture, capture_stack
+from .stepping import StepMode, StepState
+
+#: Debugger-infrastructure packages whose frames are never traced; tracing
+#: ourselves would recurse and inflate overhead.  The debuggee-level
+#: substrates (repro.mp, repro.mapreduce, repro.workerpool, repro.corpus)
+#: are deliberately NOT listed: the paper's Fig. 8 shows Dionea stepping
+#: through multiprocessing queue internals.
+_SELF_PACKAGES = ("tracing", "server", "client", "core", "util", "forkhooks")
+
+
+def _self_prefixes() -> Tuple[str, ...]:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return tuple(os.path.join(root, pkg) + os.sep for pkg in _SELF_PACKAGES)
+
+
+class TraceEngine:
+    """One per debuggee process (embedded in its debug server)."""
+
+    def __init__(self,
+                 breakpoints: Optional[BreakpointStore] = None,
+                 controller: Optional[UEController] = None,
+                 on_stop: Optional[Callable[[UEId, StackCapture], None]] = None,
+                 on_resume: Optional[Callable[[UEId], None]] = None,
+                 disturb: Optional[object] = None,
+                 park_timeout: Optional[float] = 60.0):
+        self.breakpoints = breakpoints or BreakpointStore()
+        self.controller = controller or UEController()
+        self.on_stop = on_stop
+        self.on_resume = on_resume
+        #: duck-typed DisturbMode: an object with a raw-readable
+        #: ``enabled`` attribute and a ``check(ue, frame)`` method.
+        self.disturb = disturb
+        self.park_timeout = park_timeout
+
+        self._lock = threading.RLock()
+        self._states: Dict[UEId, StepState] = {}
+        self._paused_frames: Dict[UEId, object] = {}
+        self._canonical: Dict[str, str] = {}
+        self._skip_prefixes = _self_prefixes()
+        #: per-filename skip decision cache: one dict lookup on the hot
+        #: path instead of repeated startswith scans.
+        self._skip_cache: Dict[str, bool] = {}
+        #: UEs whose step state is not CONTINUE; non-empty disables the
+        #: no-feature fast path.  Read lock-free on the hot path.
+        self._active_steppers: Set[UEId] = set()
+        self._installed = False
+        self._enabled = True
+        #: break-on-raise: when set, any 'exception' event parks the UE
+        #: with the exception rendered into the capture (pdb's `catch`).
+        #: Optionally filtered to exception type names.
+        self._exception_breaks = False
+        self._exception_filter: Optional[Set[str]] = None
+        #: precomputed "nothing is being debugged" flag: True while there
+        #: are no breakpoints, no stepping UEs, no pending suspends and
+        #: disturb mode is off.  Every feature toggle recomputes it so
+        #: the per-event fast path is a single attribute read.
+        self._quiet = True
+        self.breakpoints.on_change = self.refresh_quiet
+        from .watchpoints import WatchpointStore
+        self.watchpoints = WatchpointStore()
+        self.watchpoints.on_change = self.refresh_quiet
+        #: events the engine processed; read by the overhead benchmarks.
+        self.event_count = 0
+        self.refresh_quiet()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def install(self) -> None:
+        """Install the trace hook for this thread and all future threads."""
+        with self._lock:
+            if self._installed:
+                raise TraceError("trace engine already installed")
+            self._installed = True
+        threading.settrace(self._global_dispatch)
+        sys.settrace(self._global_dispatch)
+        debug_event("tracing", "engine installed")
+
+    def uninstall(self) -> None:
+        with self._lock:
+            if not self._installed:
+                return
+            self._installed = False
+        sys.settrace(None)
+        threading.settrace(None)  # type: ignore[arg-type]
+        self.controller.release_all()
+        debug_event("tracing", "engine uninstalled")
+
+    def disable(self) -> None:
+        """Fork phase A: make every dispatch a near-no-op."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Fork phases B/C: resume normal dispatch."""
+        self._enabled = True
+
+    def refresh_quiet(self) -> None:
+        """Recompute the fast-path flag after any feature toggle."""
+        disturb = self.disturb
+        self._quiet = (self.breakpoints.is_empty
+                       and self.watchpoints.is_empty
+                       and not self._exception_breaks
+                       and not self._active_steppers
+                       and not self.controller.has_pending
+                       and (disturb is None or not disturb.enabled))
+
+    def set_exception_breaks(self, enabled: bool,
+                             only: Optional[list] = None) -> None:
+        """Toggle break-on-raise; *only* optionally names exception types.
+
+        Fires at the 'exception' trace event — i.e. at the *raise*, in
+        the frame where it happened, before any handler runs — which is
+        the point pdb's uncaught-exception post-mortem cannot reach.
+        """
+        self._exception_breaks = enabled
+        self._exception_filter = set(only) if only else None
+        self.refresh_quiet()
+
+    @property
+    def exception_breaks(self) -> bool:
+        return self._exception_breaks
+
+    # -- per-UE state -------------------------------------------------------------
+
+    def state_for(self, ue: UEId) -> StepState:
+        with self._lock:
+            state = self._states.get(ue)
+            if state is None:
+                state = StepState()
+                self._states[ue] = state
+            return state
+
+    def known_ues(self):
+        with self._lock:
+            return sorted(self._states)
+
+    def paused_frame(self, ue: UEId):
+        """The live frame a parked UE stopped in, or None.
+
+        Safe to inspect from the listener thread: the owning thread is
+        blocked on its gate for as long as the frame is registered.
+        """
+        with self._lock:
+            return self._paused_frames.get(ue)
+
+    # -- async suspend ---------------------------------------------------------------
+
+    def request_suspend(self, ue: UEId) -> None:
+        """Pause one running UE at its next line event."""
+        self.controller.request_suspend(ue)
+        self.refresh_quiet()
+        self._inject_into_thread(ue.tid)
+
+    def request_suspend_all(self) -> None:
+        self.controller.request_suspend_all()
+        self.refresh_quiet()
+        for tid in list(sys._current_frames()):
+            if tid != threading.get_ident():
+                self._inject_into_thread(tid)
+
+    def resume_all(self) -> int:
+        """Clear every suspend request and release all parked UEs."""
+        self.controller.clear_suspend_all()
+        released = self.controller.release_all()
+        self.refresh_quiet()
+        return released
+
+    def _inject_into_thread(self, tid: int) -> None:
+        """Set local trace functions on a live thread's frames so its next
+        line event reaches the engine even if its frames opted out."""
+        frame = sys._current_frames().get(tid)
+        while frame is not None:
+            if not self._should_skip(frame.f_code.co_filename):
+                frame.f_trace = self._local_dispatch
+                frame.f_trace_lines = True
+            frame = frame.f_back
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _canonical_file(self, raw: str) -> str:
+        cached = self._canonical.get(raw)
+        if cached is None:
+            cached = canonical_file(raw)
+            self._canonical[raw] = cached
+        return cached
+
+    def _should_skip(self, filename: str) -> bool:
+        skip = self._skip_cache.get(filename)
+        if skip is None:
+            skip = (filename.startswith("<")  # <string>, <frozen ...>
+                    or filename.startswith(self._skip_prefixes))
+            self._skip_cache[filename] = skip
+        return skip
+
+    def _global_dispatch(self, frame, event, arg):
+        """Installed via sys.settrace; called for 'call' events.
+
+        The first half is the **no-breakpoint fast path** the §7
+        overhead numbers depend on: when nothing is being debugged
+        (empty breakpoint store, no stepping UE, no pending suspend,
+        disturb off), the only per-call cost is a couple of attribute
+        reads and one dict lookup — no locks, no UEId construction.
+        """
+        if not self._enabled or not self._installed:
+            return None
+        filename = frame.f_code.co_filename
+        skip = self._skip_cache.get(filename)
+        if skip is None:
+            skip = self._should_skip(filename)
+        if skip:
+            return None
+        self.event_count += 1
+        if self._quiet:
+            return None
+        return self._slow_dispatch(frame, event, arg)
+
+    def _slow_dispatch(self, frame, event, arg):
+        """Some debugging feature is live: full per-UE processing."""
+        filename = frame.f_code.co_filename
+        ue = UEId(os.getpid(), threading.get_ident())
+        state = self.state_for(ue)
+
+        # Disturb mode: the mode tracks which UEs it has already seen.
+        disturb = self.disturb
+        if disturb is not None and disturb.enabled:
+            reason = disturb.check(ue, frame)
+            if reason:
+                self._pause(ue, frame, reason=reason)
+                return self._local_dispatch
+
+        if event != "call":
+            # Defensive: injected frames may route non-call events here.
+            return self._local_dispatch(frame, event, arg)
+
+        # Function breakpoints fire on entry.
+        if self.breakpoints.has_function_breaks():
+            bp = self.breakpoints.effective(
+                self._canonical_file(filename), frame.f_lineno,
+                frame.f_globals, frame.f_locals,
+                function=frame.f_code.co_name)
+            if bp is not None:
+                self._pause(ue, frame, reason="breakpoint",
+                            breakpoint_id=bp.id)
+                return self._local_dispatch
+
+        if state.should_stop_on_call(frame):
+            self._pause(ue, frame, reason="step")
+            return self._local_dispatch
+
+        if self.controller.consume_suspend(ue):
+            self._pause(ue, frame, reason="suspend")
+            return self._local_dispatch
+
+        # Trace this frame's lines at all?  Watchpoints and exception
+        # breaks force local tracing everywhere (neither has a cheaper
+        # software implementation; the cost exists only while one is
+        # set).
+        if (state.wants_call_tracing(frame)
+                or not self.watchpoints.is_empty
+                or self._exception_breaks
+                or self.breakpoints.break_anywhere_in(
+                    self._canonical_file(filename))):
+            return self._local_dispatch
+        return None
+
+    def _local_dispatch(self, frame, event, arg):
+        if not self._enabled or not self._installed:
+            return None
+        if self._should_skip(frame.f_code.co_filename):
+            return None
+        self.event_count += 1
+        ue = UEId(os.getpid(), threading.get_ident())
+        state = self.state_for(ue)
+
+        if event == "line":
+            if self.controller.consume_suspend(ue):
+                self._pause(ue, frame, reason="suspend")
+            elif state.should_stop_on_line(frame):
+                self._pause(ue, frame, reason="step")
+            else:
+                bp = self.breakpoints.effective(
+                    self._canonical_file(frame.f_code.co_filename),
+                    frame.f_lineno, frame.f_globals, frame.f_locals)
+                if bp is not None:
+                    self._pause(ue, frame, reason="breakpoint",
+                                breakpoint_id=bp.id)
+                elif not self.watchpoints.is_empty:
+                    hit = self.watchpoints.evaluate(ue, frame)
+                    if hit is not None:
+                        self._pause(ue, frame, reason="watch",
+                                    watch=hit.to_wire())
+        elif event == "return":
+            was_suspend = state.mode is StepMode.SUSPEND
+            if state.should_stop_on_return(frame):
+                self._pause(ue, frame,
+                            reason="suspend" if was_suspend else "return")
+        elif event == "call":
+            return self._global_dispatch(frame, event, arg)
+        elif event == "exception" and self._exception_breaks:
+            exc_type, exc_value, _tb = arg
+            name = getattr(exc_type, "__name__", str(exc_type))
+            if (self._exception_filter is None
+                    or name in self._exception_filter):
+                # StopIteration/GeneratorExit are control flow, not
+                # bugs; raises inside the stdlib or this library's own
+                # substrate are implementation noise (e.g. the pipe
+                # semaphore's BlockingIOError poll loop) — exception
+                # breaks target the *user's* raise sites.
+                if (name not in ("StopIteration", "GeneratorExit")
+                        and self._is_user_frame(frame)):
+                    self._pause(ue, frame, reason="exception",
+                                watch={"exception": name,
+                                       "message": str(exc_value)})
+        return self._local_dispatch
+
+    _stdlib_prefix_cache: Optional[str] = None
+
+    def _is_user_frame(self, frame) -> bool:
+        if TraceEngine._stdlib_prefix_cache is None:
+            import sysconfig
+            TraceEngine._stdlib_prefix_cache = \
+                sysconfig.get_paths().get("stdlib", "\0none")
+        filename = frame.f_code.co_filename
+        if filename.startswith(TraceEngine._stdlib_prefix_cache):
+            return False
+        repro_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        return not filename.startswith(repro_root)
+
+    # -- stopping ------------------------------------------------------------------
+
+    def _pause(self, ue: UEId, frame, reason: str,
+               breakpoint_id: Optional[int] = None,
+               watch: Optional[dict] = None) -> None:
+        """Park the calling UE and apply the client's resume command."""
+        state = self.state_for(ue)
+        state.notify_stopped()
+        capture = capture_stack(frame, reason=reason,
+                                breakpoint_id=breakpoint_id, watch=watch)
+        # Arm the gate BEFORE announcing the stop: a fast client may send
+        # the resume command the instant it hears about the stop, and that
+        # release must not be lost (see repro.tracing.control).
+        gate = self.controller.gate_for(ue)
+        gate.arm()
+        with self._lock:
+            self._paused_frames[ue] = frame
+        if self.on_stop is not None:
+            try:
+                self.on_stop(ue, capture)
+            except Exception:  # noqa: BLE001 - client glue must not kill UE
+                debug_event("tracing", f"on_stop callback failed for {ue}")
+        try:
+            command = gate.await_release(timeout=self.park_timeout)
+        finally:
+            with self._lock:
+                self._paused_frames.pop(ue, None)
+        self._apply_command(state, frame, command)
+        if self.on_resume is not None:
+            try:
+                self.on_resume(ue)
+            except Exception:  # noqa: BLE001
+                debug_event("tracing", f"on_resume callback failed for {ue}")
+
+    def _apply_command(self, state: StepState, frame,
+                       command: ResumeCommand) -> None:
+        ue = UEId(os.getpid(), threading.get_ident())
+        action = command.action
+        if action == "continue":
+            state.set_continue()
+            self._active_steppers.discard(ue)
+            self.refresh_quiet()
+            return
+        self._active_steppers.add(ue)
+        self.refresh_quiet()
+        if action == "step":
+            state.set_step()
+        elif action == "next":
+            state.set_next(frame)
+        elif action == "return":
+            state.set_return(frame)
+        elif action == "until":
+            state.set_until(frame, command.until_line)
+        else:
+            debug_event("tracing", f"unknown resume action {action!r}; "
+                                   f"continuing")
+            state.set_continue()
+            self._active_steppers.discard(ue)
+            return
+        # Frames entered while the UE ran free declined local tracing (the
+        # no-breakpoint fast path), so a step/next/return targeting them
+        # would never see a line or return event.  Inject the local trace
+        # function up the stack — bdb does the same via f_trace.
+        current = frame
+        while current is not None:
+            if not self._should_skip(current.f_code.co_filename):
+                current.f_trace = self._local_dispatch
+                current.f_trace_lines = True
+            current = current.f_back
+
+    # -- fork support ---------------------------------------------------------------
+
+    def reset_after_fork(self) -> None:
+        """Child fork handler: only the forking thread survives (§5.1).
+
+        Parent thread states, seen-UE marks and parked gates describe
+        threads that do not exist in this process; drop them all and keep
+        a fresh state for the surviving thread.
+        """
+        surviving = UEId.current()
+        with self._lock:
+            self._states = {surviving: StepState()}
+            self._active_steppers = set()
+        self.controller.reset_after_fork(surviving)
+        self.watchpoints.reset_after_fork()
+        self.refresh_quiet()
+        # The child must re-arm tracing for itself: settrace state is
+        # per-thread and the child's thread is the parent's forker, which
+        # already had it; re-assert for robustness.
+        if self._installed and self._enabled:
+            threading.settrace(self._global_dispatch)
+            sys.settrace(self._global_dispatch)

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-sequence message on the debug wire protocol."""
+
+
+class FramingError(ProtocolError):
+    """A frame on the wire could not be decoded (bad length, bad JSON...)."""
+
+
+class HandshakeError(ProtocolError):
+    """Client and server failed to agree during connection setup."""
+
+
+class SessionError(ReproError):
+    """Illegal operation on a debug session (closed, duplicate, ...)."""
+
+
+class ViewError(SessionError):
+    """Illegal operation on a debug view (unknown UE, inactive view, ...)."""
+
+
+class BreakpointError(ReproError):
+    """Invalid breakpoint specification or unknown breakpoint id."""
+
+
+class TraceError(ReproError):
+    """The trace engine was driven into an illegal state."""
+
+
+class ForkHookError(ReproError):
+    """A fork handler could not be registered or executed."""
+
+
+class SyncObjectError(ReproError):
+    """Failure while taking or releasing ownership of a sync object."""
+
+
+class RendezvousError(ReproError):
+    """The port-file rendezvous between child and client failed."""
+
+
+class DeadlockDetected(ReproError):
+    """Raised (or reported) when the wait-for graph contains a cycle.
+
+    Carries the cycle and the source locations of the blocked UEs so the
+    client can display *the exact place where the deadlock occurred*
+    (paper section 6.2, figure 7).
+    """
+
+    def __init__(self, cycle, locations=None):
+        self.cycle = list(cycle)
+        self.locations = dict(locations or {})
+        desc = " -> ".join(str(node) for node in self.cycle)
+        super().__init__(f"deadlock detected: {desc}")
+
+
+class QueueClosed(ReproError):
+    """Operation on a closed repro.mp queue."""
+
+
+class PoolError(ReproError):
+    """Worker-pool failure (worker died, pool closed, ...)."""
+
+
+class CorpusError(ReproError):
+    """Invalid corpus profile or generation parameters."""
+
+
+class CommandError(ReproError):
+    """A debug command could not be parsed or executed."""

@@ -1,0 +1,131 @@
+"""Length-prefixed JSON framing for the debug wire protocol.
+
+Dionea's client and servers speak over TCP sockets (paper section 4), so
+message boundaries must be explicit.  We use the classic netstring-like
+layout::
+
+    +----------+----------------------+
+    | 4 bytes  |  payload             |
+    | big-end  |  UTF-8 JSON object   |
+    | length   |                      |
+    +----------+----------------------+
+
+JSON keeps the protocol inspectable and language-neutral (the paper's
+Dionea speaks to Ruby *and* Python servers from one client).  Pickle is
+deliberately avoided on the control channel: the debugger must never let a
+debuggee-controlled byte stream execute code in the client.
+
+Two interfaces are provided:
+
+* :func:`encode_frame` / :class:`FrameDecoder` — sans-io, byte-buffer based,
+  usable with ``selectors`` inside the Reactor listener thread;
+* :func:`send_frame` / :func:`recv_frame` — blocking helpers over a socket
+  or any object with ``sendall``/``recv``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator, Optional
+
+from .errors import FramingError
+
+HEADER = struct.Struct(">I")
+#: Refuse frames above this size: a corrupted length prefix must not make
+#: the listener allocate gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialize *message* (a JSON-able object) into one wire frame."""
+    try:
+        payload = json.dumps(message, separators=(",", ":"),
+                             ensure_ascii=False).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FramingError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame too large: {len(payload)} > {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Decode one frame payload back into a message object."""
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"bad frame payload: {exc}") from exc
+
+
+class FrameDecoder:
+    """Incremental frame decoder for non-blocking sockets.
+
+    Feed arbitrary byte chunks with :meth:`feed`; collect complete messages
+    with :meth:`messages`.  The decoder tolerates frames split across any
+    chunk boundary, including inside the 4-byte header.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def messages(self) -> Iterator[Any]:
+        """Yield every complete message currently buffered."""
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return
+            (length,) = HEADER.unpack_from(self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise FramingError(
+                    f"incoming frame too large: {length} > {MAX_FRAME_BYTES}")
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[HEADER.size:end])
+            del self._buffer[:end]
+            yield decode_payload(payload)
+
+
+def send_frame(sock, message: Any) -> None:
+    """Blocking send of one framed message over *sock*."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes, or None on clean EOF at a frame boundary."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            if not chunks:
+                return None
+            raise FramingError(
+                f"connection closed mid-frame ({len(chunks)}/{n} bytes)")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock) -> Optional[Any]:
+    """Blocking receive of one framed message.
+
+    Returns ``None`` on orderly EOF between frames; raises
+    :class:`FramingError` if the peer vanishes mid-frame.
+    """
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"incoming frame too large: {length} > {MAX_FRAME_BYTES}")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise FramingError("connection closed between header and payload")
+    return decode_payload(payload)

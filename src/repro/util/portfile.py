@@ -1,0 +1,189 @@
+"""Temporary-file port rendezvous between forked children and the client.
+
+Paper section 5.3, problem 3: a freshly forked child inherits its parent's
+sockets; talking through them would interleave two processes' traffic on
+one session.  *"Dionea's fork handlers use a temporary file, where the port
+number of the most recently created process is saved."*  The client watches
+that file and dials the new debug server.
+
+The file lives next to a lock file and is written atomically
+(write-to-temp + ``os.rename``) so a watcher never observes a half-written
+record.  Each record is one JSON line; the file is append-only within one
+debug run, which doubles as an audit trail of every fork.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .errors import RendezvousError
+
+
+@dataclass(frozen=True)
+class PortRecord:
+    """One child announcement: who forked, who was born, where to dial."""
+
+    pid: int
+    parent_pid: int
+    host: str
+    port: int
+    created_at: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "pid": self.pid,
+            "parent_pid": self.parent_pid,
+            "host": self.host,
+            "port": self.port,
+            "created_at": self.created_at,
+        }, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "PortRecord":
+        try:
+            raw = json.loads(line)
+            return cls(pid=int(raw["pid"]), parent_pid=int(raw["parent_pid"]),
+                       host=str(raw["host"]), port=int(raw["port"]),
+                       created_at=float(raw["created_at"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RendezvousError(f"corrupt port record: {line!r}") from exc
+
+
+def default_portfile_path(run_id: str) -> str:
+    """Canonical per-run port file location under the system temp dir."""
+    return os.path.join(tempfile.gettempdir(), f"dionea-ports-{run_id}.jsonl")
+
+
+class PortFile:
+    """Writer/reader for the rendezvous file.
+
+    Writing happens in the *child-side fork handler* (one record per fork);
+    reading happens in the client's watcher thread.  Both sides may live in
+    different processes, so coordination goes through the filesystem only.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._write_lock = threading.Lock()
+
+    # -- writer side (debug server, child fork handler) --------------------
+
+    def announce(self, record: PortRecord) -> None:
+        """Append one record atomically.
+
+        Append via a rename of the whole file would race with concurrent
+        children, so we rely on POSIX ``O_APPEND`` atomicity for writes
+        below PIPE_BUF — every record is far smaller than that.
+        """
+        line = record.to_json() + "\n"
+        data = line.encode("utf-8")
+        if len(data) > 4096:
+            raise RendezvousError("port record unexpectedly large")
+        with self._write_lock:
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                         0o600)
+            try:
+                os.write(fd, data)
+            finally:
+                os.close(fd)
+
+    # -- reader side (client watcher) --------------------------------------
+
+    def read_all(self) -> List[PortRecord]:
+        """Read every record currently in the file (possibly empty)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except FileNotFoundError:
+            return []
+        records = []
+        for line in lines:
+            if line.strip():
+                records.append(PortRecord.from_json(line))
+        return records
+
+    def remove(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError as exc:  # already gone is fine
+            if exc.errno != errno.ENOENT:
+                raise
+
+
+@dataclass
+class PortFileWatcher:
+    """Polls a :class:`PortFile` and fires a callback for each new record.
+
+    A tiny poll loop instead of inotify keeps the watcher portable and
+    dependency-free; the poll interval bounds attach latency for new
+    children (the paper's GUI shows children appearing in the process
+    tree shortly after fork).
+    """
+
+    portfile: PortFile
+    on_record: Callable[[PortRecord], None]
+    poll_interval: float = 0.02
+    _seen: Dict[int, PortRecord] = field(default_factory=dict)
+    _thread: Optional[threading.Thread] = None
+    _stop: threading.Event = field(default_factory=threading.Event)
+
+    def poll_once(self) -> List[PortRecord]:
+        """Process any unseen records; returns the new ones (for tests)."""
+        fresh: List[PortRecord] = []
+        for record in self.portfile.read_all():
+            key = record.pid
+            if key in self._seen:
+                continue
+            self._seen[key] = record
+            fresh.append(record)
+        for record in fresh:
+            self.on_record(record)
+        return fresh
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RendezvousError("watcher already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="dionea-portfile-watcher", daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        from .ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        while not self._stop.is_set():
+            try:
+                self.poll_once()
+            except RendezvousError:
+                # A corrupt record must not kill the watcher: skip this
+                # poll; the writer only ever appends whole lines, so a
+                # torn read heals on the next pass.
+                pass
+            self._stop.wait(self.poll_interval)
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def wait_for_pid(self, pid: int, timeout: float = 5.0) -> PortRecord:
+        """Block until a record for *pid* appears (tests and CLI attach)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if pid in self._seen:
+                return self._seen[pid]
+            for record in self.portfile.read_all():
+                self._seen.setdefault(record.pid, record)
+            if pid in self._seen:
+                return self._seen[pid]
+            time.sleep(self.poll_interval)
+        raise RendezvousError(f"no port record for pid {pid} "
+                              f"within {timeout:.1f}s")

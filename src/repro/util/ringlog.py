@@ -1,0 +1,116 @@
+"""Low-interference in-memory ring logger.
+
+Paper section 3 warns that printf-debugging concurrent programs *"may
+introduce more errors and hide the real problems"* because logging streams
+take locks and perturb timing.  The debugger itself must not fall into the
+same trap: diagnostics emitted from inside trace callbacks or fork
+handlers cannot go through the ``logging`` module (whose handlers lock,
+allocate and do I/O).
+
+:class:`RingLog` appends preformatted records into a fixed-size ring under
+a single short critical section — no I/O, no formatting of user objects on
+the hot path (callers pass ready strings), bounded memory.  Records can be
+drained later, outside any callback, for inspection or test assertions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    seq: int
+    timestamp: float
+    pid: int
+    tid: int
+    category: str
+    message: str
+
+    def format(self) -> str:
+        return (f"[{self.seq:06d} {self.timestamp:.6f} "
+                f"{self.pid}.{self.tid} {self.category}] {self.message}")
+
+
+class RingLog:
+    """Fixed-capacity, thread-safe, allocation-light event log."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._records: List[Optional[LogRecord]] = [None] * capacity
+        self._next_seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def emit(self, category: str, message: str) -> None:
+        record = LogRecord(
+            seq=0,  # patched under the lock
+            timestamp=time.monotonic(),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            category=category,
+            message=message,
+        )
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            object.__setattr__(record, "seq", seq)
+            self._records[seq % self._capacity] = record
+
+    def snapshot(self) -> List[LogRecord]:
+        """All retained records, oldest first."""
+        with self._lock:
+            total = self._next_seq
+            start = max(0, total - self._capacity)
+            out = []
+            for seq in range(start, total):
+                record = self._records[seq % self._capacity]
+                if record is not None:
+                    out.append(record)
+            return out
+
+    def drain(self) -> List[LogRecord]:
+        """Snapshot and clear."""
+        with self._lock:
+            total = self._next_seq
+            start = max(0, total - self._capacity)
+            out = [self._records[s % self._capacity]
+                   for s in range(start, total)]
+            self._records = [None] * self._capacity
+            self._next_seq = 0
+            return [r for r in out if r is not None]
+
+    @property
+    def dropped(self) -> int:
+        """How many records were overwritten before being read."""
+        with self._lock:
+            return max(0, self._next_seq - self._capacity)
+
+    def reset_after_fork(self) -> None:
+        """Child-side fork handler hook: start the child with a clean log.
+
+        Inherited records describe the parent; keeping them would be
+        exactly the stale-metadata problem of paper Fig. 4.
+        """
+        with self._lock:
+            self._records = [None] * self._capacity
+            self._next_seq = 0
+
+
+#: Process-global diagnostic log used by the debugger internals.  Children
+#: clear it in their fork handler (see repro.core.handlers).
+GLOBAL_LOG = RingLog()
+
+
+def debug_event(category: str, message: str) -> None:
+    """Record one diagnostic event on the global ring."""
+    GLOBAL_LOG.emit(category, message)

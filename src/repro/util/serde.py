@@ -1,0 +1,101 @@
+"""Safe rendering of debuggee values for the client's Variables view.
+
+The Dionea GUI (paper Fig. 2) shows *variables and their values* below the
+source view.  Values live in the debuggee; the client only ever sees a
+rendered form.  Rendering must therefore be
+
+* **safe** — never call arbitrary ``__repr__`` deeper than a bounded depth,
+  never serialize unbounded containers, never raise out of the trace
+  callback (a broken repr in the debuggee must not kill the debugger);
+* **lossy but honest** — truncation is explicit (``...`` markers, length
+  annotations) so the user can tell a short value from a clipped one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+#: Default bounds for rendering.  Kept small: every traced stop may render
+#: a whole frame's locals, and the client re-requests on demand.
+MAX_DEPTH = 3
+MAX_ITEMS = 25
+MAX_STRING = 256
+
+_ATOMIC = (int, float, bool, type(None))
+
+
+def render_value(value: Any, depth: int = MAX_DEPTH,
+                 max_items: int = MAX_ITEMS,
+                 max_string: int = MAX_STRING) -> str:
+    """Render *value* to a bounded, display-ready string."""
+    try:
+        return _render(value, depth, max_items, max_string)
+    except Exception as exc:  # noqa: BLE001 - debuggee repr may do anything
+        return f"<unrepresentable: {type(exc).__name__}>"
+
+
+def _clip(text: str, max_string: int) -> str:
+    if len(text) <= max_string:
+        return text
+    return text[:max_string] + f"... (+{len(text) - max_string} chars)"
+
+
+def _render(value: Any, depth: int, max_items: int, max_string: int) -> str:
+    if isinstance(value, _ATOMIC):
+        return repr(value)
+    if isinstance(value, (str, bytes, bytearray)):
+        return _clip(repr(value), max_string)
+    if depth <= 0:
+        return f"<{type(value).__name__}>"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _render_sequence(value, depth, max_items, max_string)
+    if isinstance(value, Mapping):
+        return _render_mapping(value, depth, max_items, max_string)
+    # Fall back to the object's own repr, bounded.
+    return _clip(repr(value), max_string)
+
+
+_BRACKETS = {list: "[]", tuple: "()", set: "{}", frozenset: "{}"}
+
+
+def _render_sequence(value, depth, max_items, max_string) -> str:
+    open_, close = _BRACKETS.get(type(value), "[]")
+    items = []
+    for i, item in enumerate(value):
+        if i >= max_items:
+            items.append(f"... (+{len(value) - max_items} items)")
+            break
+        items.append(_render(item, depth - 1, max_items, max_string))
+    body = ", ".join(items)
+    if isinstance(value, tuple) and len(value) == 1 and len(items) == 1:
+        body += ","
+    prefix = "" if type(value) in _BRACKETS else type(value).__name__
+    return f"{prefix}{open_}{body}{close}"
+
+
+def _render_mapping(value, depth, max_items, max_string) -> str:
+    items = []
+    for i, (key, val) in enumerate(value.items()):
+        if i >= max_items:
+            items.append(f"... (+{len(value) - max_items} items)")
+            break
+        items.append(
+            f"{_render(key, depth - 1, max_items, max_string)}: "
+            f"{_render(val, depth - 1, max_items, max_string)}")
+    prefix = "" if type(value) is dict else type(value).__name__
+    return prefix + "{" + ", ".join(items) + "}"
+
+
+def render_namespace(namespace: Mapping[str, Any],
+                     skip_dunder: bool = True) -> Dict[str, str]:
+    """Render a locals/globals mapping into ``{name: rendered}``.
+
+    Dunder names are skipped by default — the Variables view shows user
+    state, not interpreter plumbing.
+    """
+    rendered: Dict[str, str] = {}
+    for name in sorted(namespace):
+        if skip_dunder and name.startswith("__") and name.endswith("__"):
+            continue
+        rendered[name] = render_value(namespace[name])
+    return rendered

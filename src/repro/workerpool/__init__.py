@@ -1,0 +1,8 @@
+"""parallel-gem analogue: the §6.4 pipe bug and its fix."""
+
+from .buggy import BuggyWorkerPool
+from .fixed import FixedWorkerPool
+from .pool import WorkerChannels, WorkerOutcome, WorkerPoolBase
+
+__all__ = ["BuggyWorkerPool", "FixedWorkerPool", "WorkerChannels",
+           "WorkerOutcome", "WorkerPoolBase"]

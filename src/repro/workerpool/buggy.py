@@ -1,0 +1,82 @@
+"""The parallel-gem 0.5.9 fork discipline — the bug of paper §6.4.
+
+*"where fork and IO.pipe operations take place interleaved by the
+threads that interact with the child processes, Dionea very often
+detects a concurrency error ...: The debuggee processes get into a
+deadlock situation due to the failure in closing input pipe of the
+child process. ... All the unnecessary pipes used for each of the forked
+processes are copied."*
+
+Reconstructed faithfully:
+
+* each parent-side interaction thread creates its own worker's pipes and
+  **forks from that thread**, concurrently with its siblings;
+* a child forked while other workers' pipes already exist inherits
+  copies of those descriptors and — this is the bug — never closes them;
+* when the parent closes worker A's task write-end to signal
+  end-of-tasks, the kernel still counts sibling B's inherited copy, so
+  worker A never sees EOF and blocks in ``read`` forever.
+
+In the wild the overlap window is a race ("rarely happens"); the
+constructor's ``race_window`` barrier widens it deterministically —
+playing the role disturb mode plays in the paper's §6.4 workflow, where
+stopping every new process lets the user interleave the threads at will.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from .pool import WorkerChannels, WorkerPoolBase, make_channels, worker_main
+
+import os
+
+
+class BuggyWorkerPool(WorkerPoolBase):
+    """parallel 0.5.9: concurrent forks from interacting threads,
+    inherited sibling pipes never closed."""
+
+    def __init__(self, n_workers: int, join_timeout: float = 5.0,
+                 race_window: bool = True):
+        super().__init__(n_workers, join_timeout)
+        #: When True, a barrier makes every thread create its pipes
+        #: before any thread forks — the worst-case interleaving, which
+        #: turns the intermittent deadlock into a certain one.
+        self.race_window = race_window
+
+    def _spawn_all(self, func: Callable[[Any], Any],
+                   task_slices: List[List[Any]]) -> List[WorkerChannels]:
+        channels: List[Optional[WorkerChannels]] = [None] * self.n_workers
+        barrier = (threading.Barrier(self.n_workers)
+                   if self.race_window and self.n_workers > 1 else None)
+
+        def spawn(index: int) -> None:
+            # Pipes created by the interacting thread itself...
+            ch = make_channels(index)
+            channels[index] = ch
+            if barrier is not None:
+                # ...all live before anyone forks: every child will
+                # inherit every sibling's descriptors.
+                barrier.wait(timeout=10.0)
+            pid = os.fork()
+            if pid == 0:
+                # THE BUG: the child keeps running with every inherited
+                # descriptor open.  It closes only the parent ends of its
+                # *own* pipes; sibling pipes (channels[j] for j != index)
+                # stay open in this process for as long as it lives.
+                ch.child_keep_own()
+                worker_main(ch, func)
+                os._exit(0)
+            ch.pid = pid
+            ch.parent_after_fork()
+
+        threads = [threading.Thread(target=spawn, args=(i,),
+                                    name=f"buggy-spawn-{i}")
+                   for i in range(self.n_workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(15.0)
+        spawned = [ch for ch in channels if ch is not None]
+        return spawned

@@ -1,0 +1,52 @@
+"""The parallel-gem 0.5.10/0.5.11 fork discipline — the §6.4 fix.
+
+*"Therefore, the forks must be done sequentially by the main thread, not
+by the threads that interact with the child processes.  By doing so,
+each of the forked processes can close the copied but unused pipes (for
+sibling processes)."*
+
+Both halves of the fix are implemented and individually necessary:
+
+1. **sequential forks by the calling thread** — no fork overlaps another
+   worker's pipe creation, so the inherited-descriptor set is known;
+2. **children close sibling pipes** — each child walks the full channel
+   list and closes every descriptor that is not its own.
+
+With these, the parent's close of a task write-end is the *last* open
+copy, the worker sees EOF, and shutdown is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, List
+
+from .pool import WorkerChannels, WorkerPoolBase, make_channels, worker_main
+
+
+class FixedWorkerPool(WorkerPoolBase):
+    """parallel 0.5.10/11: sequential forks + sibling-pipe hygiene."""
+
+    def _spawn_all(self, func: Callable[[Any], Any],
+                   task_slices: List[List[Any]]) -> List[WorkerChannels]:
+        # All pipes first, created by one thread: the fork below therefore
+        # copies a *known* set of descriptors into every child.
+        channels = [make_channels(i) for i in range(self.n_workers)]
+        for index, ch in enumerate(channels):
+            pid = os.fork()
+            if pid == 0:
+                # THE FIX, part 2: close every sibling's pipes.  Only this
+                # worker's task_reader/result_writer stay open.
+                for other in channels:
+                    if other.index == index:
+                        other.child_keep_own()
+                    else:
+                        other.task_reader.close()
+                        other.task_writer.close()
+                        other.result_reader.close()
+                        other.result_writer.close()
+                worker_main(ch, func)
+                os._exit(0)
+            ch.pid = pid
+            ch.parent_after_fork()
+        return channels

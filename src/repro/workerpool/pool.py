@@ -1,0 +1,204 @@
+"""Shared machinery for the parallel-gem-style worker pool (paper §6.4).
+
+The Ruby *parallel* gem, as the paper describes it, spawns worker
+**processes** and talks to each through pipes; one parent-side thread per
+worker feeds tasks and collects results.  The protocol here mirrors
+that:
+
+* per worker, two one-way pipes: ``tasks`` (parent → child) and
+  ``results`` (child → parent);
+* the parent writes task frames, then **closes its task write-end**;
+  end-of-tasks is signalled by EOF;
+* the child maps its function over tasks until EOF, writes results,
+  and exits (its ends close with the process);
+* the parent reads results until EOF.
+
+The EOF-based shutdown is precisely what makes the §6.4 bug possible:
+the child only sees EOF when the **last** open copy of the task pipe's
+write end closes.  If a sibling child inherited a copy and never closes
+it, the parent's close is not enough — the worker blocks forever.  The
+two pool subclasses differ *only* in fork discipline (who forks, when,
+and what the child closes), isolating the bug the paper reported
+against parallel 0.5.9 and the fix that became 0.5.10/11.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..mp.pipes import Connection, Pipe
+from ..util.errors import PoolError, QueueClosed
+
+
+@dataclass
+class WorkerChannels:
+    """Parent-side view of one worker's pipes."""
+
+    index: int
+    task_reader: Connection   # child reads tasks here
+    task_writer: Connection   # parent writes tasks here
+    result_reader: Connection  # parent reads results here
+    result_writer: Connection  # child writes results here
+    pid: Optional[int] = None
+
+    def parent_after_fork(self) -> None:
+        """Parent keeps task_writer + result_reader; drops the child ends."""
+        self.task_reader.close()
+        self.result_writer.close()
+
+    def child_keep_own(self) -> None:
+        """Child keeps task_reader + result_writer; drops the parent ends."""
+        self.task_writer.close()
+        self.result_reader.close()
+
+
+@dataclass
+class WorkerOutcome:
+    """What the parent observed for one worker."""
+
+    index: int
+    pid: Optional[int]
+    results: List[Any] = field(default_factory=list)
+    finished: bool = False
+    hung: bool = False
+    error: Optional[str] = None
+
+
+def make_channels(index: int) -> WorkerChannels:
+    task_reader, task_writer = Pipe(label=f"w{index}.tasks")
+    result_reader, result_writer = Pipe(label=f"w{index}.results")
+    return WorkerChannels(index=index,
+                          task_reader=task_reader,
+                          task_writer=task_writer,
+                          result_reader=result_reader,
+                          result_writer=result_writer)
+
+
+def worker_main(channels: WorkerChannels,
+                func: Callable[[Any], Any]) -> None:
+    """Child body: map *func* over tasks until EOF, then exit."""
+    try:
+        while True:
+            try:
+                task = channels.task_reader.recv()
+            except EOFError:
+                break
+            try:
+                channels.result_writer.send(("ok", func(task)))
+            except QueueClosed:
+                break
+    finally:
+        channels.task_reader.close()
+        channels.result_writer.close()
+
+
+def feed_and_collect(channels: WorkerChannels,
+                     tasks: Sequence[Any],
+                     outcome: WorkerOutcome,
+                     join_timeout: float) -> None:
+    """Parent-side interaction thread for one worker.
+
+    Writes every task, closes the write end (EOF = no more tasks), then
+    drains results.  A worker that never EOFs its result stream within
+    *join_timeout* of the last observed activity is reported ``hung`` —
+    which is how the §6.4 deadlock becomes observable instead of
+    wedging the whole test suite.
+    """
+    import select
+
+    try:
+        for task in tasks:
+            channels.task_writer.send(task)
+        channels.task_writer.close()
+        fd = channels.result_reader.fileno()
+        while True:
+            ready, _, _ = select.select([fd], [], [], join_timeout)
+            if not ready:
+                outcome.hung = True
+                return
+            try:
+                kind, value = channels.result_reader.recv()
+            except EOFError:
+                break
+            except QueueClosed as exc:
+                outcome.error = str(exc)
+                return
+            if kind == "ok":
+                outcome.results.append(value)
+            else:
+                outcome.error = str(value)
+        outcome.finished = True
+    except QueueClosed as exc:
+        outcome.error = str(exc)
+
+
+class WorkerPoolBase:
+    """Common surface: map tasks over N worker processes."""
+
+    def __init__(self, n_workers: int, join_timeout: float = 5.0):
+        if n_workers < 1:
+            raise PoolError("need at least one worker")
+        self.n_workers = n_workers
+        self.join_timeout = join_timeout
+
+    # subclasses implement the fork discipline:
+    def _spawn_all(self, func: Callable[[Any], Any],
+                   task_slices: List[List[Any]]) -> List[WorkerChannels]:
+        raise NotImplementedError
+
+    def map(self, func: Callable[[Any], Any],
+            tasks: Sequence[Any]) -> Tuple[List[Any], List[WorkerOutcome]]:
+        """Distribute *tasks* round-robin; returns (results, outcomes).
+
+        Results keep task order.  Hung/failed workers yield partial or
+        empty result slices — the caller inspects outcomes (the §6.4
+        test asserts ``hung`` for the buggy pool).
+        """
+        slices: List[List[Any]] = [[] for _ in range(self.n_workers)]
+        slots: List[List[int]] = [[] for _ in range(self.n_workers)]
+        for i, task in enumerate(tasks):
+            slices[i % self.n_workers].append(task)
+            slots[i % self.n_workers].append(i)
+
+        channels = self._spawn_all(func, slices)
+
+        outcomes = [WorkerOutcome(index=ch.index, pid=ch.pid)
+                    for ch in channels]
+        threads = []
+        for ch, outcome, task_slice in zip(channels, outcomes, slices):
+            thread = threading.Thread(
+                target=feed_and_collect,
+                args=(ch, task_slice, outcome, self.join_timeout),
+                name=f"workerpool-io-{ch.index}")
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(self.join_timeout + 10.0)
+
+        ordered: List[Any] = [None] * len(tasks)
+        for outcome, slot_list in zip(outcomes, slots):
+            for value, index in zip(outcome.results, slot_list):
+                ordered[index] = value
+        self._reap(channels, outcomes)
+        return ordered, outcomes
+
+    @staticmethod
+    def _reap(channels: List[WorkerChannels],
+              outcomes: List[WorkerOutcome]) -> None:
+        """Close leftovers and collect children (kill the hung ones)."""
+        import signal
+        for ch, outcome in zip(channels, outcomes):
+            for conn in (ch.task_writer, ch.result_reader):
+                conn.close()
+            if ch.pid is None:
+                continue
+            try:
+                pid, _status = os.waitpid(ch.pid, os.WNOHANG)
+                if pid == 0:
+                    os.kill(ch.pid, signal.SIGKILL)
+                    os.waitpid(ch.pid, 0)
+            except (ChildProcessError, ProcessLookupError):
+                pass

@@ -1,0 +1,82 @@
+"""Shared fixtures and hygiene for the test suite.
+
+The debugger mutates process-global state (``sys.settrace``, ``os.fork``,
+the active-Dionea slot); the ``clean_process_state`` autouse fixture
+guarantees every test starts and ends neutral so a failing test cannot
+poison its neighbours.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def clean_process_state():
+    """Assert and restore process-global debugger state around each test."""
+    original_fork = os.fork
+    yield
+    # Restore tracing unconditionally: a failed engine test must not
+    # leave a trace function slowing down (or parking!) later tests.
+    sys.settrace(None)
+    threading.settrace(None)
+    # A leaked fork patch would make every later fork run dead handlers.
+    if os.fork is not original_fork:
+        os.fork = original_fork
+    # Clear any leaked active Dionea.
+    from repro.core import dionea as dionea_module
+    with dionea_module._current_lock:  # noqa: SLF001
+        dionea_module._current = None
+
+
+@pytest.fixture
+def portfile_path(tmp_path):
+    return str(tmp_path / "ports.jsonl")
+
+
+@pytest.fixture
+def debug_pair(portfile_path):
+    """A started in-process DebugServer plus an attached DebugClient."""
+    from repro.client import DebugClient
+    from repro.server import DebugServer
+
+    server = DebugServer(program="test", park_timeout=15.0)
+    server.start()
+    client = DebugClient()
+    session = client.attach("127.0.0.1", server.port)
+    yield server, client, session
+    client.close()
+    server.close()
+
+
+@pytest.fixture
+def dionea(portfile_path):
+    """A started Dionea facade with a private portfile."""
+    from repro.core import Dionea
+
+    debugger = Dionea(program="test", portfile_path=portfile_path,
+                      park_timeout=15.0)
+    debugger.start()
+    yield debugger
+    debugger.stop()
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01,
+               message: str = "condition"):
+    """Poll *predicate* until true or fail the test."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture
+def waiter():
+    return wait_until

@@ -1,0 +1,131 @@
+"""Integration: the paper's §6.1 usage — server and client in separate
+OS processes, exactly like ``python dioneas.py program.py`` + the GUI.
+
+The debuggee runs under ``dionea run`` in a subprocess; this test acts
+as the client over the rendezvous file, drives it with real commands,
+and follows its fork.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.util.portfile import PortFile
+
+pytestmark = [pytest.mark.forks, pytest.mark.slow]
+
+
+DEBUGGEE = textwrap.dedent("""
+    import os, sys, time
+
+    def work(label, n):
+        total = 0
+        for i in range(n):
+            total += i          # line 7: breakpoint target
+        print(label, total)
+        return total
+
+    # give the client a moment to attach and set breakpoints
+    time.sleep(1.0)
+    pid = os.fork()
+    if pid == 0:
+        work("child", 10)
+        os._exit(0)
+    work("parent", 5)
+    os.waitpid(pid, 0)
+""")
+
+
+@pytest.fixture
+def debuggee_process(tmp_path):
+    program = tmp_path / "program.py"
+    program.write_text(DEBUGGEE)
+    portfile = tmp_path / "ports.jsonl"
+    env = dict(os.environ)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "run",
+         "--portfile", str(portfile), "--park-timeout", "30",
+         str(program)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env)
+    yield proc, str(portfile), str(program)
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(10)
+
+
+class TestTwoProcessSession:
+    def test_attach_break_follow_fork_resume(self, debuggee_process):
+        proc, portfile_path, program = debuggee_process
+        client = DebugClient()
+        try:
+            client.watch_portfile(PortFile(portfile_path))
+
+            # attach to the top-level debuggee
+            deadline = time.monotonic() + 15
+            while not client.sessions() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert client.sessions(), "never attached to the debuggee"
+            parent = client.sessions()[0]
+            assert parent.pid == proc.pid
+
+            # set a breakpoint the forked child will inherit
+            parent.request("set_break", {"file": program, "line": 7})
+
+            # both parent and child must stop there
+            views = client.wait_for_stop(timeout=20, min_count=1)
+            stopped = views[0]
+            capture = stopped.wait_stopped(15)
+            assert capture.top.line == 7
+            assert capture.top.function == "work"
+
+            # the child process announces itself and is auto-attached
+            child_session = None
+            deadline = time.monotonic() + 15
+            while child_session is None and time.monotonic() < deadline:
+                others = [s for s in client.sessions()
+                          if s.pid != proc.pid]
+                if others:
+                    child_session = others[0]
+                time.sleep(0.05)
+            assert child_session is not None, "child never attached"
+            info = child_session.request("info")
+            assert info["parent_pid"] == proc.pid
+            assert info["fork_generation"] == 1
+
+            # release everything (clear each debuggee's own store first)
+            deadline = time.monotonic() + 30
+            while proc.poll() is None and time.monotonic() < deadline:
+                for view in client.stopped_views():
+                    try:
+                        for bp in view.session.request("breaks"):
+                            view.session.request("clear_break",
+                                                 {"id": bp["id"]})
+                        view.cont()
+                    except Exception:  # noqa: BLE001 - racing exit
+                        pass
+                time.sleep(0.05)
+            assert proc.wait(15) == 0
+            stdout, stderr = proc.communicate()
+            assert "parent 10" in stdout
+            assert "child 45" in stdout
+            assert "dionea: serving pid" in stderr
+        finally:
+            client.close()
+
+    def test_shell_subcommand_drives_live_server(self, debuggee_process):
+        proc, portfile_path, program = debuggee_process
+        # run the *shell CLI* (a third process) with scripted commands
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "shell",
+             "--portfile", portfile_path,
+             "-c", "sessions", "-c", "threads"],
+            capture_output=True, text=True, timeout=30)
+        assert result.returncode == 0
+        assert f"pid {proc.pid}" in result.stdout
+        proc.wait(30)

@@ -1,0 +1,153 @@
+"""Integration: the §6.2 deadlock scenario (paper Listing 5 / Figure 7).
+
+Ruby original: an inter-thread Queue is popped inside a forked child;
+the pushing thread only exists in the parent, so the child blocks
+forever.  Dionea's payoff is showing *the exact line* of the hang.
+
+Python equivalent, exercised here with repro.mp.ThreadQueue: the child's
+deadlock report must name the ``queue.get`` line of this file.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.mp.queues import ThreadQueue
+
+pytestmark = pytest.mark.forks
+
+SRC = os.path.abspath(__file__)
+
+
+def listing5_child(queue):
+    """The child's half of Listing 5: pop a thread-local queue."""
+    item = queue.get(timeout=30)      # DEADLOCK_LINE — blocks forever
+    return item
+
+
+DEADLOCK_LINE = listing5_child.__code__.co_firstlineno + 2
+
+
+class TestListing5:
+    def test_child_deadlock_located_at_exact_line(self, dionea, waiter):
+        client = DebugClient()
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="attach parent")
+
+        queue = ThreadQueue(name="listing5-queue")
+
+        # The parent-side pusher of Listing 5 (Thread.new { ... push }):
+        # it pushes after a delay, but only in the PARENT.
+        pusher = threading.Thread(
+            target=lambda: (time.sleep(1.0), queue.put(True)))
+        pusher.start()
+
+        pid = os.fork()
+        if pid == 0:
+            # Child: the queue is a frozen copy; the pusher thread did not
+            # survive the fork (§5.1).  This get can never complete.
+            try:
+                listing5_child(queue)
+                os._exit(1)  # would mean the deadlock did not happen
+            except Exception:
+                os._exit(2)
+
+        try:
+            session = client.session_for_pid(pid, timeout=10)
+
+            # Poll the child's deadlock report until the wait registers.
+            report = None
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                report = session.request("deadlock_report")
+                if report["waiting"]:
+                    break
+                time.sleep(0.05)
+
+            assert report is not None and report["waiting"], \
+                "child never reported its blocking wait"
+            wait = report["waiting"][0]
+            # The exact place where the deadlock occurred (Fig. 7):
+            assert wait["location"].startswith(f"{SRC}:{DEADLOCK_LINE}")
+            assert "listing5_child" in wait["location"]
+            assert wait["resource"] == "listing5-queue"
+
+            # Ruby's fatal-deadlock rule: every debuggee UE in the child
+            # is blocked (the only surviving thread is the waiter).
+            assert report["all_blocked"] is True
+
+            # The parent is NOT deadlocked: its pusher ran.
+            parent_report = dionea.report_deadlocks()
+            assert parent_report["all_blocked"] is False
+        finally:
+            pusher.join(5)
+            try:
+                os.kill(pid, 9)
+            except ProcessLookupError:
+                pass
+            os.waitpid(pid, 0)
+            client.close()
+
+    def test_parent_queue_still_works(self, dionea):
+        """Control: used inside one process, the queue behaves."""
+        queue = ThreadQueue()
+        threading.Thread(target=lambda: queue.put("ok")).start()
+        assert queue.get(timeout=5) == "ok"
+
+
+class TestWaitReporting:
+    def test_wait_clears_after_satisfaction(self, dionea):
+        queue = ThreadQueue(name="transient")
+
+        def slow_put():
+            time.sleep(0.2)
+            queue.put(1)
+
+        thread = threading.Thread(target=slow_put)
+        thread.start()
+        assert queue.get(timeout=5) == 1
+        thread.join(5)
+        report = dionea.report_deadlocks()
+        assert report["waiting"] == []
+
+    def test_lock_cycle_detected_in_process(self, dionea, waiter):
+        """Two threads, two locks, opposite order: a real AB-BA deadlock,
+        detected (and then broken by timeout-release in the test)."""
+        from repro.mp.synchronize import Lock
+        lock_a, lock_b = Lock(name="A"), Lock(name="B")
+        release = threading.Event()
+
+        def thread_one():
+            with lock_a:
+                time.sleep(0.1)
+                if lock_b.acquire(timeout=3.0):
+                    lock_b.release()
+
+        def thread_two():
+            with lock_b:
+                time.sleep(0.1)
+                if lock_a.acquire(timeout=3.0):
+                    lock_a.release()
+
+        threads = [threading.Thread(target=thread_one),
+                   threading.Thread(target=thread_two)]
+        for t in threads:
+            t.start()
+
+        # While both are blocked, the cycle must be visible.
+        def has_cycle():
+            return bool(dionea.report_deadlocks()["cycles"])
+
+        waiter(has_cycle, timeout=2.5, message="AB-BA cycle detection")
+        report = dionea.report_deadlocks()
+        chain = report["cycles"][0]["nodes"]
+        assert "A" in chain and "B" in chain
+
+        for t in threads:
+            t.join(10)
+        lock_a.close()
+        lock_b.close()
+        assert dionea.report_deadlocks()["cycles"] == []

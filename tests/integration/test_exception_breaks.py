@@ -1,0 +1,127 @@
+"""Integration: break-on-raise over the wire (the `catch` command)."""
+
+import os
+import threading
+
+import pytest
+
+from repro.client import Shell
+
+SRC = os.path.abspath(__file__)
+
+
+def risky(values):
+    out = []
+    for value in values:
+        try:
+            out.append(10 // value)
+        except ZeroDivisionError:
+            out.append(None)
+    return out
+
+
+def multi_error():
+    try:
+        raise KeyError("missing")
+    except KeyError:
+        pass
+    try:
+        raise ValueError("bad value")
+    except ValueError:
+        pass
+    return "done"
+
+
+class TestCatchExceptions:
+    def test_stop_at_raise_even_if_handled(self, debug_pair):
+        """The exception event fires at the raise, in the raising frame —
+        before the handler runs; pdb's post-mortem can't get here."""
+        server, client, session = debug_pair
+        session.request("catch_exceptions", {"enabled": True})
+        try:
+            box = {}
+            thread = threading.Thread(
+                target=lambda: box.setdefault("r", risky([2, 0, 5])))
+            thread.start()
+            view = client.wait_for_stop(timeout=10)[0]
+            capture = view.wait_stopped(10)
+            assert capture.reason == "exception"
+            assert capture.watch["exception"] == "ZeroDivisionError"
+            assert capture.top.function == "risky"
+            # the handler still runs after release: result intact
+            view.cont()
+            thread.join(10)
+            assert box["r"] == [5, None, 2]
+        finally:
+            session.request("catch_exceptions", {"enabled": False})
+
+    def test_filter_by_exception_name(self, debug_pair):
+        server, client, session = debug_pair
+        session.request("catch_exceptions",
+                        {"enabled": True, "only": ["ValueError"]})
+        try:
+            box = {}
+            thread = threading.Thread(
+                target=lambda: box.setdefault("r", multi_error()))
+            thread.start()
+            view = client.wait_for_stop(timeout=10)[0]
+            capture = view.wait_stopped(10)
+            # the KeyError did NOT stop; the ValueError did
+            assert capture.watch["exception"] == "ValueError"
+            assert capture.watch["message"] == "bad value"
+            view.cont()
+            thread.join(10)
+            assert box["r"] == "done"
+        finally:
+            session.request("catch_exceptions", {"enabled": False})
+
+    def test_toggle_off_stops_catching(self, debug_pair):
+        server, client, session = debug_pair
+        session.request("catch_exceptions", {"enabled": True})
+        session.request("catch_exceptions", {"enabled": False})
+        box = {}
+        thread = threading.Thread(
+            target=lambda: box.setdefault("r", risky([0])))
+        thread.start()
+        thread.join(10)
+        assert box["r"] == [None]
+        assert client.stop_history == []
+
+    def test_bad_filter_rejected(self, debug_pair):
+        from repro.util.errors import CommandError
+        server, client, session = debug_pair
+        with pytest.raises(CommandError):
+            session.request("catch_exceptions",
+                            {"enabled": True, "only": [1, 2]})
+
+    def test_shell_catch_verb(self, debug_pair):
+        server, client, session = debug_pair
+        shell = Shell(client)
+        out = shell.execute("catch on ValueError KeyError")
+        assert "exception catching on" in out
+        assert "ValueError" in out
+        assert shell.execute("catch off") == "exception catching off"
+        from repro.util.errors import CommandError
+        with pytest.raises(CommandError):
+            shell.execute("catch maybe")
+
+    def test_stopiteration_never_catches(self, debug_pair):
+        """Generator control flow must not masquerade as a bug."""
+        server, client, session = debug_pair
+        session.request("catch_exceptions", {"enabled": True})
+        try:
+            box = {}
+
+            def generator_user():
+                return sum(x for x in [1, 2, 3])
+
+            thread = threading.Thread(
+                target=lambda: box.setdefault("r", generator_user()))
+            thread.start()
+            thread.join(10)
+            assert box["r"] == 6
+            # no exception stops occurred
+            assert all(v.capture.reason != "exception"
+                       for v in client.views() if v.capture)
+        finally:
+            session.request("catch_exceptions", {"enabled": False})

@@ -1,0 +1,101 @@
+"""Integration: §6.3 — debugging MapReduce word count over processes.
+
+Fig. 8's scenario: a parent plus forked workers sharing input/output
+queues; some workers stopped at breakpoints while *"an available child
+process takes over the jobs"*.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.corpus import generate_corpus, get_profile
+from repro.mapreduce import (
+    map_wordcount,
+    merge_counts,
+    run_wordcount,
+)
+
+pytestmark = [pytest.mark.forks, pytest.mark.slow]
+
+
+class TestWordcountUnderDebugger:
+    def test_result_identical_with_debugger_attached(self, dionea):
+        """Correctness under tracing: same counts as the serial truth."""
+        docs = generate_corpus(get_profile("tiny"))
+        expected = merge_counts(map_wordcount(d) for d in docs)
+        got = run_wordcount(docs, n_workers=3, timeout=60)
+        assert got == expected
+
+    def test_children_announce_through_portfile(self, dionea, waiter):
+        client = DebugClient()
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="parent attach")
+        docs = generate_corpus(get_profile("tiny"))
+        run_wordcount(docs, n_workers=3, timeout=60)
+        # the 3 pool workers all announced and were auto-attached
+        waiter(lambda: len(dionea.portfile.read_all()) >= 4,
+               timeout=10, message="worker announcements")
+        records = dionea.portfile.read_all()
+        worker_records = [r for r in records if r.pid != os.getpid()]
+        assert len(worker_records) >= 3
+        client.close()
+
+    def test_breakpoint_in_worker_stops_only_that_worker(self, dionea,
+                                                         waiter):
+        """The §6.3 observation: with one worker parked at a breakpoint,
+        the remaining workers drain the queue and the job completes."""
+        client = DebugClient()
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="parent attach")
+
+        docs = generate_corpus(get_profile("tiny"))
+        # reference result computed BEFORE the function breakpoint: the
+        # parent's own map_wordcount calls must not park this thread
+        expected = merge_counts(map_wordcount(d) for d in docs)
+
+        # Break on entry to the map function — every worker hits it on
+        # its first document.
+        dionea.server.engine.breakpoints.add_function("map_wordcount")
+
+        import threading
+        result_box = {}
+
+        def run_job():
+            result_box["counts"] = run_wordcount(docs, n_workers=3,
+                                                 timeout=120)
+
+        job = threading.Thread(target=run_job)
+        job.start()
+
+        # first worker to hit the breakpoint parks
+        views = client.wait_for_stop(timeout=30)
+        stopped = [v for v in views if v.ue.pid != os.getpid()]
+        assert stopped, "no worker stopped at the breakpoint"
+        first = stopped[0]
+        first.wait_stopped(10)
+
+        # clear that worker's inherited breakpoint and release it; other
+        # workers will each park once too — release them as they come.
+        released_pids = set()
+        deadline = time.monotonic() + 60
+        while job.is_alive() and time.monotonic() < deadline:
+            for view in client.stopped_views():
+                if view.ue.pid == os.getpid():
+                    continue
+                session = view.session
+                try:
+                    for bp in session.request("breaks"):
+                        session.request("clear_break", {"id": bp["id"]})
+                    view.cont()
+                    released_pids.add(view.ue.pid)
+                except Exception:  # noqa: BLE001 - worker may have exited
+                    pass
+            time.sleep(0.02)
+        job.join(30)
+        assert not job.is_alive(), "job wedged under the debugger"
+        assert result_box["counts"] == expected
+        assert released_pids, "no workers were stopped/released"
+        client.close()

@@ -1,0 +1,139 @@
+"""Integration: the Output window pipeline and the Fig. 2 text UI."""
+
+import os
+import threading
+
+import pytest
+
+from repro.client import DebugClient, Shell, TextUI
+from repro.server import DebugServer
+from repro.util.errors import ViewError
+
+SRC = os.path.abspath(__file__)
+
+
+def chatty_worker(n):
+    total = 0
+    for i in range(n):
+        print(f"processing item {i}")
+        total += i                      # UI_BP_LINE
+    return total
+
+
+UI_BP_LINE = chatty_worker.__code__.co_firstlineno + 4
+
+
+@pytest.fixture
+def io_pair():
+    server = DebugServer(program="ui-test", park_timeout=15.0,
+                         capture_io=True)
+    server.start()
+    client = DebugClient()
+    session = client.attach("127.0.0.1", server.port)
+    yield server, client, session
+    client.close()
+    server.close()
+
+
+class TestOutputPipeline:
+    def test_output_events_reach_client(self, io_pair, waiter):
+        server, client, session = io_pair
+        server.output_capture.reinstall()  # pytest re-wrapped stdout
+        print("hello from the debuggee")
+        waiter(lambda: "hello from the debuggee"
+               in client.output_for(os.getpid()),
+               message="output event")
+
+    def test_output_command_returns_buffer(self, io_pair):
+        server, client, session = io_pair
+        server.output_capture.reinstall()
+        print("via command")
+        result = session.request("output", {"stream": "stdout"})
+        assert result["capturing"]
+        assert "via command" in result["text"]
+
+    def test_capture_toggle(self, io_pair):
+        server, client, session = io_pair
+        session.request("capture_output", {"enabled": False})
+        assert not server.output_capture.installed
+        session.request("capture_output", {"enabled": True})
+        assert server.output_capture.installed
+
+    def test_shell_output_command(self, io_pair):
+        server, client, session = io_pair
+        shell = Shell(client)
+        server.output_capture.reinstall()
+        print("shell-visible line")
+        out = shell.execute("output stdout")
+        assert "shell-visible line" in out
+
+    def test_feed_input_roundtrip(self, io_pair):
+        server, client, session = io_pair
+        session.request("feed_input", {"text": "fed line\n"})
+        import sys
+        assert sys.stdin.readline() == "fed line\n"
+        session.request("close_input")
+        assert sys.stdin.readline() == ""
+
+
+class TestTextUI:
+    def test_full_window_render(self, io_pair):
+        server, client, session = io_pair
+        server.output_capture.reinstall()
+        session.request("set_break", {"file": SRC, "line": UI_BP_LINE,
+                                      "condition": "i == 2",
+                                      "temporary": True})
+        box = {}
+        thread = threading.Thread(
+            target=lambda: box.setdefault("r", chatty_worker(4)))
+        thread.start()
+        view = client.wait_for_stop(timeout=10)[0]
+        view.wait_stopped(10)
+        client.activate(view)
+
+        ui = TextUI(client)
+        window = ui.render()
+
+        # Source pane: the stop marker on the breakpoint line.
+        assert "SOURCE" in window
+        assert "->" in window
+        assert f":{UI_BP_LINE} in chatty_worker()" in window
+        # Variables pane: the loop state at i == 2.
+        assert "i = 2" in window
+        assert "total = 1" in window  # 0 + 1
+        # Processes pane: the parked UE marked.
+        assert "PROCESSES AND THREADS" in window
+        assert "*" in window
+        # Output pane: the debuggee's prints so far.
+        assert "processing item 1" in window
+
+        view.cont()
+        thread.join(10)
+        assert box["r"] == 6
+
+    def test_render_without_views_raises(self):
+        client = DebugClient()
+        ui = TextUI(client)
+        with pytest.raises(ViewError):
+            ui.render()
+        client.close()
+
+    def test_panes_individually(self, io_pair, waiter):
+        server, client, session = io_pair
+        server.output_capture.reinstall()
+        ui = TextUI(client)
+        procs = ui.processes_pane()
+        assert any("ui-test" in line or "process" in line
+                   for line in procs)
+        print("pane output line")
+        waiter(lambda: "pane output line"
+               in client.output_for(os.getpid()),
+               message="output event")
+        assert "pane output line" in "\n".join(
+            ui.output_pane(os.getpid()))
+
+    def test_shell_tree_command(self, io_pair):
+        server, client, session = io_pair
+        shell = Shell(client)
+        out = shell.execute("tree")
+        assert f"process {os.getpid()}" in out

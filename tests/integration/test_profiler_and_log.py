@@ -1,0 +1,82 @@
+"""Integration: the profile/log commands over the wire."""
+
+import threading
+import time
+
+import pytest
+
+from repro.client import Shell
+from repro.util.errors import CommandError
+
+
+def spin_briefly(duration):
+    total = 0
+    deadline = time.monotonic() + duration
+    while time.monotonic() < deadline:
+        for _ in range(500):
+            total += 1
+    return total
+
+
+class TestProfileCommands:
+    def test_profile_cycle(self, debug_pair):
+        server, client, session = debug_pair
+        session.request("profile_start", {"interval_ms": 2.0})
+        worker = threading.Thread(target=spin_briefly, args=(0.3,))
+        worker.start()
+        worker.join(10)
+        result = session.request("profile_stop")
+        assert result["total_sweeps"] > 10
+        report = session.request("profile_report")
+        assert report["profiles"], "no UE was sampled"
+        all_functions = {
+            row["function"]
+            for data in report["profiles"].values()
+            for row in data["hottest"]
+        }
+        assert "spin_briefly" in all_functions
+
+    def test_double_start_rejected(self, debug_pair):
+        server, client, session = debug_pair
+        session.request("profile_start", {})
+        with pytest.raises(CommandError):
+            session.request("profile_start", {})
+        session.request("profile_stop")
+
+    def test_report_before_start_rejected(self, debug_pair):
+        server, client, session = debug_pair
+        with pytest.raises(CommandError):
+            session.request("profile_report")
+
+    def test_shell_profile_verbs(self, debug_pair):
+        server, client, session = debug_pair
+        shell = Shell(client)
+        assert "profiler started" in shell.execute("profile start 2")
+        spin_briefly(0.2)
+        assert "profiler stopped" in shell.execute("profile stop")
+        report = shell.execute("profile report")
+        assert "sweeps" in report
+
+
+class TestDebugLogCommand:
+    def test_log_returns_engine_events(self, debug_pair):
+        server, client, session = debug_pair
+        result = session.request("debug_log", {"limit": 100})
+        text = "\n".join(result["records"])
+        # server startup always logs these
+        assert "engine installed" in text or "debug server up" in text
+
+    def test_shell_log_verb(self, debug_pair):
+        server, client, session = debug_pair
+        shell = Shell(client)
+        out = shell.execute("log 20")
+        assert out  # some records exist
+
+    def test_shell_help_lists_everything(self, debug_pair):
+        server, client, session = debug_pair
+        shell = Shell(client)
+        out = shell.execute("help")
+        for verb in ("break", "continue", "watch", "catch", "profile",
+                     "output", "deadlocks", "tree"):
+            assert verb in out
+        assert "c=continue" in out

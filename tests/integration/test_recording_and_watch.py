@@ -1,0 +1,151 @@
+"""Integration: session recording and watchpoints over the wire."""
+
+import os
+import threading
+
+import pytest
+
+from repro.client import SessionRecorder, Shell
+from repro.client.recording import TranscriptEntry
+
+SRC = os.path.abspath(__file__)
+
+
+def ramp(n):
+    level = 0
+    for i in range(n):
+        level += i
+    return level
+
+
+class TestWatchpointsOverWire:
+    def test_watch_stops_and_reports_change(self, debug_pair):
+        server, client, session = debug_pair
+        result = session.request("set_watch", {"expression": "level"})
+        watch_id = result["id"]
+
+        box = {}
+        thread = threading.Thread(
+            target=lambda: box.setdefault("r", ramp(3)))
+        thread.start()
+        view = client.wait_for_stop(timeout=10)[0]
+        capture = view.wait_stopped(10)
+        assert capture.reason == "watch"
+        assert capture.watch["expression"] == "level"
+        assert capture.watch["old_value"] == "0"
+        assert capture.watch["new_value"] == "1"
+
+        # hit count is visible in the listing
+        rows = session.request("watches")
+        assert rows[0]["hit_count"] == 1
+
+        session.request("clear_watch", {"id": watch_id})
+        view.cont()
+        thread.join(10)
+        assert box["r"] == 3
+
+    def test_bad_watch_expression_rejected(self, debug_pair):
+        from repro.util.errors import CommandError
+        server, client, session = debug_pair
+        with pytest.raises(CommandError):
+            session.request("set_watch", {"expression": "level +"})
+
+    def test_shell_watch_verbs(self, debug_pair):
+        server, client, session = debug_pair
+        shell = Shell(client)
+        out = shell.execute("watch level * 2")
+        assert "watchpoint 1 on level * 2" in out
+        assert "level * 2" in shell.execute("watches")
+        assert shell.execute("unwatch 1") == "cleared watchpoint 1"
+        assert shell.execute("watches") == "no watchpoints"
+
+
+class TestSessionRecording:
+    def test_requests_responses_and_events_recorded(self, debug_pair,
+                                                    waiter):
+        server, client, session = debug_pair
+        recorder = SessionRecorder()
+        recorder.attach_to(client)
+
+        bp = session.request("set_break", {"file": SRC, "line":
+                                           ramp.__code__.co_firstlineno + 3,
+                                           "temporary": True})
+        box = {}
+        thread = threading.Thread(
+            target=lambda: box.setdefault("r", ramp(2)))
+        thread.start()
+        view = client.wait_for_stop(timeout=10)[0]
+        view.wait_stopped(10)
+        view.cont()
+        thread.join(10)
+
+        requests = recorder.entries(direction="request")
+        commands = [e.payload["command"] for e in requests]
+        assert "set_break" in commands
+        assert "resume" in commands
+        responses = recorder.entries(direction="response")
+        assert all(e.payload["ok"] for e in responses)
+        # the resumed event is asynchronous: wait for it to land
+        def event_names():
+            return {e.payload["event"]
+                    for e in recorder.entries(direction="event")}
+
+        waiter(lambda: {"stopped", "resumed"} <= event_names(),
+               message="stopped+resumed events in transcript")
+
+    def test_error_responses_recorded(self, debug_pair):
+        from repro.util.errors import CommandError
+        server, client, session = debug_pair
+        recorder = SessionRecorder()
+        recorder.attach_to(client)
+        with pytest.raises(CommandError):
+            session.request("clear_break", {"id": 404})
+        errors = [e for e in recorder.entries(direction="response")
+                  if not e.payload["ok"]]
+        assert errors and "clear_break" == errors[0].payload["command"]
+
+    def test_save_and_load_roundtrip(self, debug_pair, tmp_path):
+        server, client, session = debug_pair
+        recorder = SessionRecorder()
+        recorder.attach_to(client)
+        session.request("info")
+        path = str(tmp_path / "transcript.jsonl")
+        count = recorder.save(path)
+        loaded = SessionRecorder.load(path)
+        assert len(loaded) == count >= 2
+        assert isinstance(loaded[0], TranscriptEntry)
+        assert loaded[0].payload["command"] == "info"
+
+    def test_timeline_rendering(self, debug_pair):
+        server, client, session = debug_pair
+        recorder = SessionRecorder()
+        recorder.attach_to(client)
+        session.request("threads")
+        timeline = recorder.render_timeline()
+        assert "-> threads" in timeline
+        assert "<- threads [ok]" in timeline
+        assert f"pid {os.getpid()}" in timeline
+
+    def test_recording_covers_auto_attached_children(
+            self, dionea, waiter, tmp_path):
+        """Sessions born later (forked children) are wrapped too."""
+        from repro.client import DebugClient
+        client = DebugClient()
+        recorder = SessionRecorder()
+        recorder.attach_to(client)
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="parent attach")
+
+        import time
+        pid = os.fork()
+        if pid == 0:
+            time.sleep(0.3)
+            os._exit(0)
+        child_session = client.session_for_pid(pid, timeout=10)
+        child_session.request("info")
+        os.waitpid(pid, 0)
+
+        child_requests = recorder.entries(direction="request", pid=pid)
+        assert any(e.payload["command"] == "info"
+                   for e in child_requests)
+        client.close()

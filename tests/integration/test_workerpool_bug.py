@@ -1,0 +1,108 @@
+"""Integration: §6.4 — the parallel-gem pipe bug under the debugger.
+
+The paper's finding, reproduced end to end:
+
+* the **buggy** fork discipline (0.5.9) deadlocks when forks from
+  interacting threads interleave with pipe creation;
+* the **fixed** discipline (0.5.10/11) always completes;
+* **disturb mode** stops every newly forked worker, making the
+  interleaving controllable — the same run that hangs in buggy mode is
+  stepped through deterministically.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.workerpool import BuggyWorkerPool, FixedWorkerPool
+
+pytestmark = [pytest.mark.forks, pytest.mark.slow]
+
+
+def work_item(x):
+    return x * x
+
+
+class TestBugVsFix:
+    def test_buggy_hangs_fixed_completes(self):
+        tasks = list(range(8))
+
+        fixed = FixedWorkerPool(4, join_timeout=5.0)
+        results, outcomes = fixed.map(work_item, tasks)
+        assert results == [x * x for x in tasks]
+        assert all(o.finished for o in outcomes)
+
+        buggy = BuggyWorkerPool(4, join_timeout=1.5, race_window=True)
+        _results, outcomes = buggy.map(work_item, tasks)
+        hung = [o for o in outcomes if o.hung]
+        assert hung, "buggy pool should deadlock with a full race window"
+
+    def test_fix_requires_closing_sibling_pipes(self):
+        """Dependency check: the fixed pool's completion is causal, not
+        luck — run both pools repeatedly and require consistency."""
+        for _ in range(3):
+            fixed = FixedWorkerPool(3, join_timeout=5.0)
+            results, outcomes = fixed.map(work_item, [1, 2, 3, 4, 5, 6])
+            assert results == [1, 4, 9, 16, 25, 36]
+            assert not any(o.hung for o in outcomes)
+
+
+class TestUnderDebugger:
+    def test_fixed_pool_completes_with_dionea_attached(self, dionea,
+                                                       waiter):
+        client = DebugClient()
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="parent attach")
+        pool = FixedWorkerPool(3, join_timeout=15.0)
+        results, outcomes = pool.map(work_item, list(range(6)))
+        assert results == [x * x for x in range(6)]
+        assert all(o.finished for o in outcomes)
+        client.close()
+
+    def test_disturb_mode_stops_every_new_worker(self, dionea, waiter):
+        """§6.4's methodology: every forked worker parks at birth; the
+        client chooses the interleaving by releasing them one by one."""
+        client = DebugClient()
+        client.watch_portfile(dionea.portfile)
+        waiter(lambda: client.sessions(), message="parent attach")
+        # §6.4 methodology targets processes; leave this test's own
+        # runner *thread* alone (a new thread would be disturbed too).
+        dionea.disturb_mode.stop_new_threads = False
+        dionea.disturb_mode.set_enabled(True)
+
+        import threading
+        n_workers = 3
+        box = {}
+
+        def run_pool():
+            pool = FixedWorkerPool(n_workers, join_timeout=30.0)
+            box["out"] = pool.map(work_item, list(range(n_workers * 2)))
+
+        runner = threading.Thread(target=run_pool)
+        runner.start()
+
+        # every worker must park with reason "disturb" before doing work;
+        # release them in reverse birth order — a scripted interleaving.
+        parked = []
+        deadline = time.monotonic() + 30
+        while len(parked) < n_workers and time.monotonic() < deadline:
+            for view in client.stopped_views():
+                if view.ue.pid != os.getpid() and view not in parked:
+                    assert view.capture.reason == "disturb"
+                    parked.append(view)
+            time.sleep(0.02)
+        assert len(parked) == n_workers, \
+            f"only {len(parked)}/{n_workers} workers disturbed"
+
+        for view in reversed(parked):
+            view.cont()
+
+        runner.join(30)
+        assert not runner.is_alive()
+        results, outcomes = box["out"]
+        assert results == [x * x for x in range(n_workers * 2)]
+        assert all(o.finished for o in outcomes)
+        dionea.disturb_mode.set_enabled(False)
+        client.close()

@@ -1,0 +1,16 @@
+"""Hypothesis profile for the property suite.
+
+The container these tests run on is shared and noisy; hypothesis's
+default 200 ms per-example deadline produces false failures when the
+machine stalls mid-example, so deadlines are disabled — the outer pytest
+timeout still bounds runaway tests.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,75 @@
+"""Property tests: breakpoint store consistency."""
+
+from hypothesis import given, strategies as st
+
+from repro.tracing.breakpoints import BreakpointStore
+
+locations = st.tuples(
+    st.sampled_from(["/a.py", "/b.py", "/c/d.py"]),
+    st.integers(min_value=1, max_value=50),
+)
+
+
+class TestStoreConsistency:
+    @given(locs=st.lists(locations, max_size=30))
+    def test_len_matches_additions(self, locs):
+        store = BreakpointStore()
+        for file, line in locs:
+            store.add(file, line)
+        assert len(store) == len(locs)
+
+    @given(locs=st.lists(locations, min_size=1, max_size=30),
+           data=st.data())
+    def test_add_remove_reaches_consistent_state(self, locs, data):
+        store = BreakpointStore()
+        ids = [store.add(f, l).id for f, l in locs]
+        to_remove = data.draw(st.sets(st.sampled_from(ids),
+                                      max_size=len(ids)))
+        for bp_id in to_remove:
+            store.remove(bp_id)
+        survivors = {bp.id for bp in store.all()}
+        assert survivors == set(ids) - to_remove
+        # the location index agrees with the id index
+        index_count = sum(len(store.match_line(bp.file, bp.line)
+                              ) > 0 for bp in store.all())
+        assert index_count == len(survivors)
+
+    @given(locs=st.lists(locations, min_size=1, max_size=20))
+    def test_every_added_breakpoint_is_matchable(self, locs):
+        store = BreakpointStore()
+        for file, line in locs:
+            bp = store.add(file, line)
+            assert bp in store.match_line(bp.file, bp.line)
+            assert store.break_anywhere_in(bp.file)
+
+    @given(locs=st.lists(locations, min_size=1, max_size=20))
+    def test_clearing_empties_all_indexes(self, locs):
+        store = BreakpointStore()
+        for file, line in locs:
+            store.add(file, line)
+        store.clear()
+        assert len(store) == 0
+        assert store.files_with_breakpoints() == set()
+        for file, line in locs:
+            assert store.match_line(file, line) == []
+
+    @given(hits=st.integers(min_value=0, max_value=20),
+           ignore=st.integers(min_value=0, max_value=10))
+    def test_ignore_count_arithmetic(self, hits, ignore):
+        """With ignore_count=k, the breakpoint stops on hit k+1."""
+        store = BreakpointStore()
+        store.add("/f.py", 1, ignore_count=ignore)
+        canonical = store.all()[0].file
+        stops = sum(
+            1 for _ in range(hits)
+            if store.effective(canonical, 1, {}, {}) is not None)
+        assert stops == max(0, hits - ignore)
+
+    @given(locs=st.lists(locations, min_size=1, max_size=15))
+    def test_snapshot_matches_store(self, locs):
+        store = BreakpointStore()
+        for file, line in locs:
+            store.add(file, line)
+        snap = store.snapshot_state()
+        assert len(snap) == len(store)
+        assert [s["id"] for s in snap] == sorted(s["id"] for s in snap)

@@ -1,0 +1,66 @@
+"""Property tests: corpus generation determinism and shape."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.generator import (
+    generate_file_text,
+    make_vocabulary,
+)
+from repro.corpus.reserved import is_countable
+from repro.corpus.trees import CorpusProfile, generate_corpus
+from repro.mapreduce.wordcount import tokenize
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           size=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_vocabulary_reproducible(self, seed, size):
+        assert make_vocabulary(random.Random(seed), size) == \
+            make_vocabulary(random.Random(seed), size)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           lines=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30)
+    def test_file_text_reproducible_and_line_exact(self, seed, lines):
+        vocab = make_vocabulary(random.Random(1), 50)
+        a = generate_file_text(seed, lines, vocab)
+        assert a == generate_file_text(seed, lines, vocab)
+        assert a.count("\n") == lines
+
+    @given(n_files=st.integers(min_value=1, max_value=8),
+           lines=st.integers(min_value=1, max_value=10),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15)
+    def test_corpus_profile_reproducible(self, n_files, lines, seed):
+        profile = CorpusProfile(name="prop", n_files=n_files,
+                                lines_per_file=lines,
+                                vocabulary_size=30, seed=seed)
+        a = generate_corpus(profile)
+        b = generate_corpus(profile)
+        assert a == b
+        assert len(a) == n_files
+        paths = [p for p, _ in a]
+        assert len(set(paths)) == n_files  # no path collisions
+
+
+class TestTokenStatistics:
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20)
+    def test_generated_text_has_countable_tokens(self, seed):
+        """The §7 workload is only a workload if the filter keeps words."""
+        vocab = make_vocabulary(random.Random(7), 100)
+        text = generate_file_text(seed, 30, vocab)
+        tokens = tokenize(text)
+        assert tokens, "generated file has no countable words"
+        assert all(is_countable(t) for t in tokens)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20)
+    def test_vocabulary_words_are_countable(self, seed):
+        for word in make_vocabulary(random.Random(seed), 50):
+            # vocabulary words are lowercase alpha; only keyword overlap
+            # could disqualify them, which the tokenizer handles anyway
+            assert word.isalpha()

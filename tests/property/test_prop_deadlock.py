@@ -1,0 +1,83 @@
+"""Property tests: the wait-for graph finds planted cycles and never
+invents cycles in acyclic graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deadlock import WaitForGraph
+from repro.util.ids import UEId
+
+
+def ue(i):
+    return UEId(1, i)
+
+
+class TestPlantedCycles:
+    @given(size=st.integers(min_value=1, max_value=8))
+    def test_planted_ring_always_found(self, size):
+        """UE_i holds L_i and wants L_{i+1 mod n}: one ring, found."""
+        graph = WaitForGraph()
+        for i in range(size):
+            graph.add_hold(ue(i), f"L{i}")
+            graph.add_wait(ue(i), f"L{(i + 1) % size}", f"x:{i}")
+        cycles = graph.find_cycles()
+        assert len(cycles) == 1
+        ues_in_cycle = {n for n in cycles[0] if n.startswith("ue:")}
+        assert len(ues_in_cycle) == size
+
+    @given(size=st.integers(min_value=2, max_value=8),
+           break_at=st.data())
+    def test_broken_ring_has_no_cycle(self, size, break_at):
+        """Remove one wait edge from the ring: no cycle remains."""
+        missing = break_at.draw(st.integers(min_value=0,
+                                            max_value=size - 1))
+        graph = WaitForGraph()
+        for i in range(size):
+            graph.add_hold(ue(i), f"L{i}")
+            if i != missing:
+                graph.add_wait(ue(i), f"L{(i + 1) % size}", f"x:{i}")
+        assert graph.find_cycles() == []
+
+
+class TestAcyclicGraphs:
+    @settings(max_examples=60)
+    @given(edges=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10),
+                  st.integers(min_value=0, max_value=10)),
+        max_size=25))
+    def test_forward_only_edges_never_cycle(self, edges):
+        """Build waits that always point from lower UE to a resource held
+        by a strictly higher UE: topologically ordered ⇒ acyclic."""
+        graph = WaitForGraph()
+        for low, high in edges:
+            if low >= high:
+                continue
+            graph.add_hold(ue(high), f"R{high}")
+            graph.add_wait(ue(low), f"R{high}", "x:1")
+        assert graph.find_cycles() == []
+
+    @given(waits=st.lists(st.integers(min_value=0, max_value=20),
+                          max_size=20))
+    def test_waits_without_holders_never_cycle(self, waits):
+        graph = WaitForGraph()
+        for i, w in enumerate(waits):
+            graph.add_wait(ue(i), f"R{w}", "x:1")
+        assert graph.find_cycles() == []
+
+
+class TestOrphanInvariants:
+    @given(n_live=st.integers(min_value=0, max_value=5),
+           n_dead=st.integers(min_value=0, max_value=5))
+    def test_orphan_iff_all_holders_dead(self, n_live, n_dead):
+        graph = WaitForGraph()
+        waiter = ue(100)
+        live = [ue(i) for i in range(n_live)]
+        dead = [ue(50 + i) for i in range(n_dead)]
+        for holder in live + dead:
+            graph.add_hold(holder, "R")
+        graph.add_wait(waiter, "R", "w:1")
+        orphans = graph.orphaned_waits(live_ues=live + [waiter])
+        if live or not dead:
+            # a live holder exists, or nothing is known about holders
+            assert orphans == []
+        else:
+            assert len(orphans) == 1

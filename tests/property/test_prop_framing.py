@@ -1,0 +1,69 @@
+"""Property tests: framing round-trips under arbitrary chunking."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.framing import FrameDecoder, encode_frame
+
+# JSON-representable values (finite floats only: NaN != NaN breaks
+# equality-based round-trip assertions).
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**53, max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=200),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=8),
+        st.dictionaries(st.text(max_size=20), children, max_size=8),
+    ),
+    max_leaves=25,
+)
+
+
+class TestRoundTrip:
+    @given(message=json_values)
+    def test_single_message(self, message):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(message))
+        out = list(decoder.messages())
+        assert len(out) == 1
+        assert out[0] == json.loads(json.dumps(message))
+
+    @given(messages=st.lists(json_values, max_size=10))
+    def test_message_sequence_order_preserved(self, messages):
+        decoder = FrameDecoder()
+        for message in messages:
+            decoder.feed(encode_frame(message))
+        out = list(decoder.messages())
+        assert out == [json.loads(json.dumps(m)) for m in messages]
+
+    @given(messages=st.lists(json_values, min_size=1, max_size=6),
+           data=st.data())
+    @settings(max_examples=50)
+    def test_arbitrary_chunk_boundaries(self, messages, data):
+        """The decoder must be insensitive to how the byte stream is
+        split — including splits inside the 4-byte header."""
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        position = 0
+        while position < len(stream):
+            size = data.draw(st.integers(min_value=1,
+                                         max_value=len(stream) - position))
+            decoder.feed(stream[position:position + size])
+            out.extend(decoder.messages())
+            position += size
+        assert out == [json.loads(json.dumps(m)) for m in messages]
+        assert decoder.pending_bytes == 0
+
+    @given(message=json_values)
+    def test_no_bytes_left_behind(self, message):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(message))
+        list(decoder.messages())
+        assert decoder.pending_bytes == 0

@@ -1,0 +1,65 @@
+"""Property tests: shuffle partitioning invariants."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.mapreduce.partition import partition_for, shuffle, stable_hash
+
+keys = st.text(min_size=1, max_size=30)
+partials = st.lists(
+    st.dictionaries(keys, st.integers(min_value=0, max_value=100),
+                    max_size=10),
+    max_size=8)
+
+
+class TestHashProperties:
+    @given(key=keys)
+    def test_determinism(self, key):
+        assert stable_hash(key) == stable_hash(key)
+
+    @given(key=keys, n=st.integers(min_value=1, max_value=64))
+    def test_partition_in_range(self, key, n):
+        assert 0 <= partition_for(key, n) < n
+
+
+class TestShuffleInvariants:
+    @given(data=partials, n=st.integers(min_value=1, max_value=8))
+    def test_no_key_lost_no_key_duplicated(self, data, n):
+        buckets = shuffle(data, n)
+        all_keys = [k for bucket in buckets for k, _ in bucket]
+        assert len(all_keys) == len(set(all_keys))
+        assert set(all_keys) == {k for p in data for k in p}
+
+    @given(data=partials, n=st.integers(min_value=1, max_value=8))
+    def test_value_multiset_preserved(self, data, n):
+        buckets = shuffle(data, n)
+        shuffled_values = Counter()
+        for bucket in buckets:
+            for key, values in bucket:
+                for value in values:
+                    shuffled_values[(key, value)] += 1
+        original_values = Counter()
+        for partial in data:
+            for key, value in partial.items():
+                original_values[(key, value)] += 1
+        assert shuffled_values == original_values
+
+    @given(data=partials, n=st.integers(min_value=1, max_value=8))
+    def test_bucket_assignment_is_partition_for(self, data, n):
+        buckets = shuffle(data, n)
+        for index, bucket in enumerate(buckets):
+            for key, _ in bucket:
+                assert partition_for(key, n) == index
+
+    @given(data=partials, n=st.integers(min_value=1, max_value=8))
+    def test_buckets_internally_sorted(self, data, n):
+        for bucket in shuffle(data, n):
+            bucket_keys = [k for k, _ in bucket]
+            assert bucket_keys == sorted(bucket_keys)
+
+    @given(data=partials)
+    def test_single_partition_collects_everything(self, data):
+        buckets = shuffle(data, 1)
+        assert len(buckets) == 1
+        assert {k for k, _ in buckets[0]} == {k for p in data for k in p}

@@ -1,0 +1,79 @@
+"""Property tests: queue FIFO ordering and payload fidelity."""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mp.queues import Queue
+
+picklable = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(),
+              st.text(max_size=50), st.binary(max_size=50)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5)),
+    max_leaves=15,
+)
+
+
+class TestSingleThread:
+    @given(items=st.lists(picklable, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_exact(self, items):
+        q = Queue()
+        try:
+            for item in items:
+                q.put(item)
+            assert [q.get() for _ in items] == items
+            assert q.empty()
+        finally:
+            q.close()
+
+    @given(items=st.lists(st.integers(), min_size=1, max_size=20),
+           maxsize=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_queue_interleaved(self, items, maxsize):
+        q = Queue(maxsize=maxsize)
+        try:
+            out = []
+            pending = 0
+            for item in items:
+                if pending == maxsize:
+                    out.append(q.get())
+                    pending -= 1
+                q.put(item)
+                pending += 1
+            while pending:
+                out.append(q.get())
+                pending -= 1
+            assert out == items
+        finally:
+            q.close()
+
+
+class TestMultiProducer:
+    @given(per_producer=st.integers(min_value=1, max_value=40),
+           n_producers=st.integers(min_value=2, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_per_producer_fifo(self, per_producer, n_producers):
+        """Global order is unspecified, but each producer's items arrive
+        in that producer's order — the §6.3 queue contract."""
+        q = Queue()
+        try:
+            def produce(tag):
+                for i in range(per_producer):
+                    q.put((tag, i))
+
+            threads = [threading.Thread(target=produce, args=(t,))
+                       for t in range(n_producers)]
+            for t in threads:
+                t.start()
+            received = [q.get(timeout=10.0)
+                        for _ in range(per_producer * n_producers)]
+            for t in threads:
+                t.join()
+            for tag in range(n_producers):
+                seq = [i for (t, i) in received if t == tag]
+                assert seq == list(range(per_producer))
+        finally:
+            q.close()

@@ -1,0 +1,83 @@
+"""Property tests: fork-handler registry ordering invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.forkhooks.registry import ForkHandlerRegistry
+
+labels = st.lists(st.text(min_size=1, max_size=8), min_size=1,
+                  max_size=10, unique=True)
+
+
+class TestOrderingInvariants:
+    @given(names=labels)
+    def test_prepare_is_reverse_of_parent(self, names):
+        registry = ForkHandlerRegistry()
+        calls = []
+        for name in names:
+            registry.register(
+                name,
+                prepare=lambda n=name: calls.append(("prep", n)),
+                parent=lambda n=name: calls.append(("par", n)))
+        registry.run_prepare()
+        prep_order = [n for kind, n in calls if kind == "prep"]
+        calls.clear()
+        registry.run_parent()
+        parent_order = [n for kind, n in calls if kind == "par"]
+        assert prep_order == list(reversed(parent_order))
+        assert parent_order == names
+
+    @given(names=labels)
+    def test_child_matches_registration_order(self, names):
+        registry = ForkHandlerRegistry()
+        calls = []
+        for name in names:
+            registry.register(name,
+                              child=lambda n=name: calls.append(n))
+        registry.run_child()
+        assert calls == names
+
+    @given(names=labels, data=st.data())
+    def test_unregister_preserves_relative_order(self, names, data):
+        registry = ForkHandlerRegistry()
+        calls = []
+        for name in names:
+            registry.register(name,
+                              child=lambda n=name: calls.append(n))
+        to_remove = data.draw(st.sets(st.sampled_from(names),
+                                      max_size=len(names)))
+        for name in to_remove:
+            registry.unregister(name)
+        registry.run_child()
+        assert calls == [n for n in names if n not in to_remove]
+
+    @given(names=labels, data=st.data())
+    def test_failing_prepare_unwinds_exactly_the_prepared(self, names,
+                                                          data):
+        """Whatever handler fails, every handler that prepared before it
+        — and only those — get their parent (undo) callback."""
+        from repro.util.errors import ForkHookError
+        import pytest
+
+        registry = ForkHandlerRegistry()
+        failer = data.draw(st.sampled_from(names))
+        prepared, undone = [], []
+        for name in names:
+            if name == failer:
+                registry.register(
+                    name,
+                    prepare=lambda n=name: (_ for _ in ()).throw(
+                        RuntimeError(n)),
+                    parent=lambda n=name: undone.append(n))
+            else:
+                registry.register(
+                    name,
+                    prepare=lambda n=name: prepared.append(n),
+                    parent=lambda n=name: undone.append(n))
+        with pytest.raises(ForkHookError):
+            registry.run_prepare()
+        # prepare runs reversed: everything after `failer` (in reverse
+        # order) prepared; exactly those were undone, in reverse.
+        expected_prepared = [n for n in reversed(names)
+                             if names.index(n) > names.index(failer)]
+        assert prepared == expected_prepared
+        assert undone == list(reversed(expected_prepared))

@@ -1,0 +1,56 @@
+"""Property tests: value rendering never crashes and always bounds output."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.serde import MAX_STRING, render_namespace, render_value
+
+anything = st.recursive(
+    st.one_of(
+        st.none(), st.booleans(), st.integers(), st.floats(),
+        st.text(max_size=500), st.binary(max_size=500),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=10),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=10), children, max_size=10),
+    ),
+    max_leaves=40,
+)
+
+
+class TestTotality:
+    @given(value=anything)
+    def test_always_returns_str(self, value):
+        assert isinstance(render_value(value), str)
+
+    @given(value=anything)
+    @settings(max_examples=200)
+    def test_output_bounded(self, value):
+        rendered = render_value(value, depth=3, max_items=5, max_string=64)
+        # Each level multiplies by at most max_items; with small knobs the
+        # output must stay well under a fixed ceiling.
+        assert len(rendered) < 20_000
+
+    @given(text=st.text(min_size=MAX_STRING + 1, max_size=MAX_STRING * 3))
+    def test_long_strings_always_marked(self, text):
+        rendered = render_value(text)
+        assert "chars)" in rendered
+
+    @given(items=st.lists(st.integers(), min_size=26, max_size=200))
+    def test_long_lists_always_marked(self, items):
+        rendered = render_value(items)
+        assert "items)" in rendered
+
+
+class TestNamespace:
+    @given(namespace=st.dictionaries(
+        st.text(min_size=1, max_size=20), anything, max_size=15))
+    def test_namespace_keys_sorted_and_stringified(self, namespace):
+        rendered = render_namespace(namespace)
+        assert list(rendered) == sorted(rendered)
+        assert all(isinstance(v, str) for v in rendered.values())
+
+    @given(name=st.text(min_size=1, max_size=10))
+    def test_dunder_always_skipped(self, name):
+        key = f"__{name}__"
+        assert key not in render_namespace({key: 1})

@@ -1,0 +1,78 @@
+"""Property tests: STM invariants (repro.stm)."""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stm import TVar, atomically
+
+
+class TestSequentialSemantics:
+    @given(values=st.lists(st.integers(), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_last_write_wins(self, values):
+        var = TVar(0)
+        for value in values:
+            atomically(lambda tx, v=value: tx.write(var, v))
+        assert var.peek() == values[-1]
+
+    @given(initial=st.integers(), delta=st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_read_modify_write(self, initial, delta):
+        var = TVar(initial)
+        atomically(lambda tx: tx.write(var, tx.read(var) + delta))
+        assert var.peek() == initial + delta
+
+    @given(n_vars=st.integers(min_value=1, max_value=10),
+           data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multi_var_snapshot_consistent(self, n_vars, data):
+        """A transaction observes one consistent snapshot: if it reads
+        every var twice, both reads agree."""
+        tvars = [TVar(i) for i in range(n_vars)]
+
+        def body(tx):
+            first = [tx.read(v) for v in tvars]
+            second = [tx.read(v) for v in tvars]
+            return first == second
+
+        assert atomically(body)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_concurrent_transfers_conserve_sum(self, seed):
+        import random
+        accounts = [TVar(50) for _ in range(3)]
+        rng = random.Random(seed)
+        plans = [[(rng.randrange(3), rng.randrange(3), rng.randint(1, 9))
+                  for _ in range(40)] for _ in range(3)]
+
+        def run(plan):
+            for src, dst, amount in plan:
+                def body(tx, s=src, d=dst, a=amount):
+                    balance = tx.read(accounts[s])
+                    if s != d and balance >= a:
+                        tx.write(accounts[s], balance - a)
+                        tx.write(accounts[d],
+                                 tx.read(accounts[d]) + a)
+                atomically(body)
+
+        threads = [threading.Thread(target=run, args=(plan,))
+                   for plan in plans]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = atomically(
+            lambda tx: sum(tx.read(a) for a in accounts))
+        assert total == 150
+
+    @given(writes=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_version_strictly_monotone(self, writes):
+        var = TVar(0)
+        versions = [var.version]
+        for i in range(writes):
+            atomically(lambda tx, v=i: tx.write(var, v))
+            versions.append(var.version)
+        assert all(b > a for a, b in zip(versions, versions[1:]))

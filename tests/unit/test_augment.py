@@ -1,0 +1,154 @@
+"""Unit tests: the augmented fork (repro.forkhooks.augment).
+
+These fork real processes (children exit immediately via os._exit), so
+they double as the paper's Listing 4 in miniature: alias installed,
+handlers bracket the fork, alias removed.
+"""
+
+import os
+
+import pytest
+
+from repro.forkhooks.augment import ForkPatcher, active_patcher
+from repro.forkhooks.registry import ForkHandlerRegistry
+from repro.util.errors import ForkHookError
+
+
+@pytest.fixture
+def registry():
+    return ForkHandlerRegistry()
+
+
+def reap(pid):
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+class TestInstallUninstall:
+    def test_install_replaces_os_fork(self, registry):
+        original = os.fork
+        patcher = ForkPatcher(registry)
+        patcher.install()
+        try:
+            assert os.fork is not original
+            assert active_patcher() is patcher
+        finally:
+            patcher.uninstall()
+        assert os.fork is original
+        assert active_patcher() is None
+
+    def test_double_install_rejected(self, registry):
+        patcher = ForkPatcher(registry)
+        with patcher:
+            with pytest.raises(ForkHookError):
+                patcher.install()
+
+    def test_two_patchers_rejected(self, registry):
+        first = ForkPatcher(registry)
+        second = ForkPatcher(ForkHandlerRegistry())
+        with first:
+            with pytest.raises(ForkHookError):
+                second.install()
+
+    def test_uninstall_without_install_is_noop(self, registry):
+        ForkPatcher(registry).uninstall()  # no raise
+
+    def test_foreign_repatch_detected(self, registry):
+        patcher = ForkPatcher(registry)
+        patcher.install()
+        saved = os.fork
+        os.fork = lambda: 0  # someone else patches over us
+        try:
+            with pytest.raises(ForkHookError):
+                patcher.uninstall()
+        finally:
+            os.fork = saved
+            patcher.uninstall()
+
+    def test_unknown_backend_rejected(self, registry):
+        with pytest.raises(ForkHookError):
+            ForkPatcher(registry, backend="magic")
+
+
+@pytest.mark.forks
+class TestAliasBackendForks:
+    def test_handlers_bracket_real_fork(self, registry):
+        events = []
+        registry.register("t",
+                          prepare=lambda: events.append("prepare"),
+                          parent=lambda: events.append("parent"),
+                          child=lambda: os._exit(42))
+        with ForkPatcher(registry):
+            pid = os.fork()
+            # we only ever get here in the parent: the child handler exits
+            assert pid > 0
+            assert reap(pid) == 42
+        assert events == ["prepare", "parent"]
+
+    def test_child_pid_callback(self, registry):
+        seen = []
+        patcher = ForkPatcher(registry)
+        patcher.on_child_forked = seen.append
+        with patcher:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            reap(pid)
+        assert seen == [pid]
+
+    def test_prepare_failure_aborts_fork(self, registry):
+        registry.register("veto", prepare=lambda: 1 / 0)
+        forked = []
+        with ForkPatcher(registry):
+            with pytest.raises(ForkHookError):
+                pid = os.fork()
+                forked.append(pid)
+        assert forked == []  # fork never happened
+
+    def test_fork_still_works_after_uninstall(self, registry):
+        with ForkPatcher(registry):
+            pass
+        pid = os.fork()
+        if pid == 0:
+            os._exit(7)
+        assert reap(pid) == 7
+
+    def test_callback_failure_does_not_break_fork(self, registry):
+        patcher = ForkPatcher(registry)
+        patcher.on_child_forked = lambda pid: 1 / 0
+        with patcher:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            assert reap(pid) == 0
+
+
+@pytest.mark.forks
+class TestAtforkBackend:
+    def test_handlers_fire_after_install(self, registry):
+        events = []
+        registry.register("t",
+                          prepare=lambda: events.append("prepare"),
+                          parent=lambda: events.append("parent"))
+        patcher = ForkPatcher(registry, backend="atfork")
+        patcher.install()
+        try:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            reap(pid)
+            assert events == ["prepare", "parent"]
+        finally:
+            patcher.uninstall()
+
+    def test_noop_after_uninstall(self, registry):
+        events = []
+        registry.register("t", prepare=lambda: events.append("prepare"))
+        patcher = ForkPatcher(registry, backend="atfork")
+        patcher.install()
+        patcher.uninstall()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        reap(pid)
+        assert events == []

@@ -1,0 +1,160 @@
+"""Unit tests: breakpoint model and store (repro.tracing.breakpoints)."""
+
+import pytest
+
+from repro.tracing.breakpoints import BreakpointStore, canonical_file
+from repro.util.errors import BreakpointError
+
+
+@pytest.fixture
+def store():
+    return BreakpointStore()
+
+
+FILE = "/some/path/app.py"
+CANON = canonical_file(FILE)
+
+
+class TestAddRemove:
+    def test_add_assigns_monotonic_ids(self, store):
+        a = store.add(FILE, 10)
+        b = store.add(FILE, 20)
+        assert b.id == a.id + 1
+
+    def test_add_canonicalises_path(self, store):
+        bp = store.add("/some/dir/../path/app.py", 5)
+        assert bp.file == CANON
+
+    def test_zero_or_negative_line_rejected(self, store):
+        with pytest.raises(BreakpointError):
+            store.add(FILE, 0)
+        with pytest.raises(BreakpointError):
+            store.add(FILE, -3)
+
+    def test_remove_clears_lookup(self, store):
+        bp = store.add(FILE, 10)
+        store.remove(bp.id)
+        assert store.match_line(CANON, 10) == []
+        assert not store.break_anywhere_in(CANON)
+        assert len(store) == 0
+
+    def test_remove_unknown_raises(self, store):
+        with pytest.raises(BreakpointError):
+            store.remove(404)
+
+    def test_two_breakpoints_same_line(self, store):
+        store.add(FILE, 10)
+        store.add(FILE, 10, condition="x > 1")
+        assert len(store.match_line(CANON, 10)) == 2
+
+    def test_clear(self, store):
+        store.add(FILE, 1)
+        store.add_function("main")
+        store.clear()
+        assert len(store) == 0
+        assert not store.has_function_breaks()
+
+
+class TestHotPathQueries:
+    def test_break_anywhere_in(self, store):
+        assert not store.break_anywhere_in(CANON)
+        store.add(FILE, 3)
+        assert store.break_anywhere_in(CANON)
+
+    def test_files_with_breakpoints(self, store):
+        store.add(FILE, 1)
+        store.add("/other.py", 2)
+        assert store.files_with_breakpoints() == {
+            CANON, canonical_file("/other.py")}
+
+    def test_match_line_misses(self, store):
+        store.add(FILE, 10)
+        assert store.match_line(CANON, 11) == []
+        assert store.match_line(canonical_file("/nope.py"), 10) == []
+
+
+class TestEffective:
+    def test_plain_breakpoint_stops_and_counts(self, store):
+        bp = store.add(FILE, 10)
+        hit = store.effective(CANON, 10, {}, {})
+        assert hit is bp
+        assert bp.hit_count == 1
+
+    def test_disabled_does_not_stop(self, store):
+        bp = store.add(FILE, 10)
+        store.set_enabled(bp.id, False)
+        assert store.effective(CANON, 10, {}, {}) is None
+
+    def test_reenabled_stops_again(self, store):
+        bp = store.add(FILE, 10)
+        store.set_enabled(bp.id, False)
+        store.set_enabled(bp.id, True)
+        assert store.effective(CANON, 10, {}, {}) is bp
+
+    def test_true_condition_stops(self, store):
+        store.add(FILE, 10, condition="x == 3")
+        assert store.effective(CANON, 10, {}, {"x": 3}) is not None
+
+    def test_false_condition_does_not_stop(self, store):
+        store.add(FILE, 10, condition="x == 3")
+        assert store.effective(CANON, 10, {}, {"x": 4}) is None
+
+    def test_condition_reads_globals_too(self, store):
+        store.add(FILE, 10, condition="FLAG")
+        assert store.effective(CANON, 10, {"FLAG": True}, {}) is not None
+
+    def test_broken_condition_stops(self, store):
+        """pdb semantics: a condition that raises should surface."""
+        store.add(FILE, 10, condition="1 / 0")
+        assert store.effective(CANON, 10, {}, {}) is not None
+
+    def test_ignore_count_skips_then_stops(self, store):
+        store.add(FILE, 10, ignore_count=2)
+        assert store.effective(CANON, 10, {}, {}) is None
+        assert store.effective(CANON, 10, {}, {}) is None
+        assert store.effective(CANON, 10, {}, {}) is not None
+
+    def test_temporary_removed_after_first_hit(self, store):
+        store.add(FILE, 10, temporary=True)
+        assert store.effective(CANON, 10, {}, {}) is not None
+        assert len(store) == 0
+        assert store.effective(CANON, 10, {}, {}) is None
+
+    def test_first_matching_of_stack_wins(self, store):
+        store.add(FILE, 10, condition="False")
+        second = store.add(FILE, 10)
+        assert store.effective(CANON, 10, {}, {}) is second
+
+
+class TestFunctionBreakpoints:
+    def test_add_and_match(self, store):
+        bp = store.add_function("process_item")
+        assert store.has_function_breaks()
+        assert store.match_function("process_item") == [bp]
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(BreakpointError):
+            store.add_function("")
+
+    def test_effective_with_function(self, store):
+        store.add_function("worker")
+        hit = store.effective(CANON, 1, {}, {}, function="worker")
+        assert hit is not None
+
+    def test_remove_function_break(self, store):
+        bp = store.add_function("f")
+        store.remove(bp.id)
+        assert not store.has_function_breaks()
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self, store):
+        store.add(FILE, 10, condition="x", temporary=True)
+        store.add_function("g")
+        snap = store.snapshot_state()
+        assert len(snap) == 2
+        assert snap[0]["condition"] == "x"
+        assert snap[0]["temporary"] is True
+        assert snap[1]["function"] == "g"
+        import json
+        json.dumps(snap)  # wire-safe

@@ -1,0 +1,86 @@
+"""Unit tests: CLI argument handling and the corpus subcommand."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "prog.py"])
+        assert args.program == "prog.py"
+        assert args.args == []
+        assert not args.disturb
+
+    def test_run_passes_remainder(self):
+        args = build_parser().parse_args(
+            ["run", "prog.py", "--input", "x.txt"])
+        assert args.args == ["--input", "x.txt"]
+
+    def test_run_flags_before_program(self):
+        # argparse.REMAINDER: everything after PROGRAM belongs to the
+        # debuggee, so dionea's own flags go before it.
+        args = build_parser().parse_args(
+            ["run", "--disturb", "--wait-client", "--park-timeout", "5",
+             "p.py"])
+        assert args.disturb and args.wait_client
+        assert args.park_timeout == 5.0
+
+    def test_flags_after_program_belong_to_debuggee(self):
+        args = build_parser().parse_args(["run", "p.py", "--disturb"])
+        assert not args.disturb
+        assert args.args == ["--disturb"]
+
+    def test_shell_options(self):
+        args = build_parser().parse_args(
+            ["shell", "--connect", "localhost:4000", "-c", "threads"])
+        assert args.connect == "localhost:4000"
+        assert args.command == ["threads"]
+
+    def test_corpus_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus", "tiny"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCorpusCommand:
+    def test_writes_files(self, tmp_path, capsys):
+        code = main(["corpus", "tiny", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 6 files" in out
+        assert os.path.isdir(tmp_path / "tiny")
+
+
+class TestRunCommand:
+    def test_runs_program_under_debugger(self, tmp_path, capsys):
+        program = tmp_path / "prog.py"
+        program.write_text("import sys\nprint('ran with', len(sys.argv))\n")
+        portfile = tmp_path / "ports"
+        code = main(["run", "--portfile", str(portfile),
+                     "--park-timeout", "1", str(program)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "ran with 1" in captured.out
+        assert "dionea: serving pid" in captured.err
+
+    def test_exit_code_propagates(self, tmp_path):
+        program = tmp_path / "prog.py"
+        program.write_text("import sys\nsys.exit(3)\n")
+        code = main(["run", "--portfile", str(tmp_path / "pf"),
+                     str(program)])
+        assert code == 3
+
+    def test_program_argv_restored(self, tmp_path):
+        import sys
+        before = list(sys.argv)
+        program = tmp_path / "prog.py"
+        program.write_text("pass\n")
+        main(["run", "--portfile", str(tmp_path / "pf"),
+              str(program), "arg1"])
+        assert sys.argv == before

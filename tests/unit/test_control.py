@@ -1,0 +1,164 @@
+"""Unit tests: resume gates and the UE controller (repro.tracing.control)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.tracing.control import ResumeCommand, ResumeGate, UEController
+from repro.util.errors import TraceError
+from repro.util.ids import UEId
+
+UE = UEId(100, 1)
+OTHER = UEId(100, 2)
+
+
+class TestResumeGate:
+    def test_release_before_await_is_not_lost(self):
+        """The race the arm/await split exists for."""
+        gate = ResumeGate(UE)
+        gate.arm()
+        gate.release(ResumeCommand(action="step"))  # client answered fast
+        command = gate.await_release(timeout=1.0)
+        assert command.action == "step"
+
+    def test_park_blocks_until_release(self):
+        gate = ResumeGate(UE)
+        result = {}
+
+        def parked():
+            result["cmd"] = gate.park(timeout=5.0)
+
+        thread = threading.Thread(target=parked)
+        thread.start()
+        assert gate.wait_parked(2.0)
+        gate.release(ResumeCommand(action="next"))
+        thread.join(2.0)
+        assert result["cmd"].action == "next"
+
+    def test_timeout_returns_continue(self):
+        gate = ResumeGate(UE)
+        start = time.monotonic()
+        command = gate.park(timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+        assert command.action == "continue"
+
+    def test_release_without_arm_raises(self):
+        gate = ResumeGate(UE)
+        with pytest.raises(TraceError):
+            gate.release()
+
+    def test_double_arm_raises(self):
+        gate = ResumeGate(UE)
+        gate.arm()
+        with pytest.raises(TraceError):
+            gate.arm()
+        gate.release()
+        gate.await_release(timeout=1.0)
+
+    def test_await_without_arm_raises(self):
+        gate = ResumeGate(UE)
+        with pytest.raises(TraceError):
+            gate.await_release(timeout=0.1)
+
+    def test_gate_reusable_across_stops(self):
+        gate = ResumeGate(UE)
+        for action in ("continue", "step", "next"):
+            gate.arm()
+            gate.release(ResumeCommand(action=action))
+            assert gate.await_release(1.0).action == action
+
+    def test_default_release_command_is_continue(self):
+        gate = ResumeGate(UE)
+        gate.arm()
+        gate.release()
+        assert gate.await_release(1.0).action == "continue"
+
+
+class TestUEController:
+    def test_gate_for_is_stable(self):
+        controller = UEController()
+        assert controller.gate_for(UE) is controller.gate_for(UE)
+        assert controller.gate_for(UE) is not controller.gate_for(OTHER)
+
+    def test_known_and_parked_ues(self):
+        controller = UEController()
+        controller.gate_for(UE)
+        controller.gate_for(OTHER).arm()
+        assert controller.known_ues() == [UE, OTHER]
+        assert controller.parked_ues() == [OTHER]
+        controller.gate_for(OTHER).release()
+        controller.gate_for(OTHER).await_release(1.0)
+
+    def test_suspend_consumed_once(self):
+        controller = UEController()
+        controller.request_suspend(UE)
+        assert controller.consume_suspend(UE)
+        assert not controller.consume_suspend(UE)
+
+    def test_suspend_is_per_ue(self):
+        controller = UEController()
+        controller.request_suspend(UE)
+        assert not controller.consume_suspend(OTHER)
+        assert controller.consume_suspend(UE)
+
+    def test_suspend_all_parks_each_ue_once(self):
+        controller = UEController()
+        controller.gate_for(UE)
+        controller.request_suspend_all()
+        assert controller.consume_suspend(UE)
+        assert not controller.consume_suspend(UE)  # released UEs run free
+        assert controller.consume_suspend(OTHER)  # late-arriving UEs caught
+        controller.clear_suspend_all()
+        assert not controller.consume_suspend(UE)
+
+    def test_suspend_all_resets_per_sweep(self):
+        controller = UEController()
+        controller.request_suspend_all()
+        assert controller.consume_suspend(UE)
+        controller.clear_suspend_all()
+        controller.request_suspend_all()
+        assert controller.consume_suspend(UE)  # a NEW sweep parks again
+
+    def test_release_unparked_raises(self):
+        controller = UEController()
+        controller.gate_for(UE)
+        with pytest.raises(TraceError):
+            controller.release(UE)
+
+    def test_release_all_returns_count(self):
+        controller = UEController()
+        released = []
+
+        def parked(ue):
+            cmd = controller.gate_for(ue).park(timeout=5.0)
+            released.append((ue, cmd.action))
+
+        threads = [threading.Thread(target=parked, args=(ue,))
+                   for ue in (UE, OTHER)]
+        for t in threads:
+            t.start()
+        for ue in (UE, OTHER):
+            assert controller.gate_for(ue).wait_parked(2.0)
+        count = controller.release_all()
+        for t in threads:
+            t.join(2.0)
+        assert count == 2
+        assert sorted(r[0] for r in released) == [UE, OTHER]
+        assert all(r[1] == "continue" for r in released)
+
+    def test_release_all_clears_pending_suspends(self):
+        controller = UEController()
+        controller.request_suspend(UE)
+        controller.release_all()
+        assert not controller.consume_suspend(UE)
+
+    def test_reset_after_fork_keeps_only_survivor(self):
+        controller = UEController()
+        controller.gate_for(UE)
+        controller.gate_for(OTHER)
+        controller.request_suspend(OTHER)
+        survivor = UEId(200, 9)
+        controller.reset_after_fork(survivor)
+        assert controller.known_ues() == [survivor]
+        assert not controller.consume_suspend(OTHER)

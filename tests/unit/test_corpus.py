@@ -1,0 +1,122 @@
+"""Unit tests: corpus generation (repro.corpus)."""
+
+import os
+import random
+
+import pytest
+
+from repro.corpus import (
+    PROFILES,
+    corpus_stats,
+    generate_corpus,
+    generate_file_text,
+    generate_line,
+    get_profile,
+    is_countable,
+    is_reserved,
+    make_vocabulary,
+    write_corpus,
+)
+from repro.util.errors import CorpusError
+
+
+class TestReserved:
+    def test_python_keywords_reserved(self):
+        assert is_reserved("def") and is_reserved("while")
+
+    def test_c_keywords_reserved(self):
+        assert is_reserved("struct") and is_reserved("sizeof")
+
+    def test_rust_keywords_reserved(self):
+        assert is_reserved("impl") and is_reserved("trait")
+
+    def test_identifier_not_reserved(self):
+        assert not is_reserved("counter")
+
+    def test_countable_predicate(self):
+        assert is_countable("frequency")
+        assert not is_countable("while")       # reserved
+        assert not is_countable("abc123")      # not only letters
+        assert not is_countable("")            # empty
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        words = make_vocabulary(random.Random(1), 500)
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_all_alpha_lowercase(self):
+        for word in make_vocabulary(random.Random(2), 100):
+            assert word.isalpha() and word.islower()
+
+    def test_deterministic_for_seed(self):
+        a = make_vocabulary(random.Random(42), 50)
+        b = make_vocabulary(random.Random(42), 50)
+        assert a == b
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(CorpusError):
+            make_vocabulary(random.Random(1), 0)
+
+
+class TestGeneration:
+    def test_line_has_tokens(self):
+        vocab = make_vocabulary(random.Random(3), 50)
+        line = generate_line(random.Random(4), vocab)
+        assert line.strip()
+
+    def test_file_text_deterministic(self):
+        vocab = make_vocabulary(random.Random(3), 50)
+        assert generate_file_text(9, 20, vocab) == \
+            generate_file_text(9, 20, vocab)
+
+    def test_file_text_line_count(self):
+        vocab = make_vocabulary(random.Random(3), 50)
+        text = generate_file_text(9, 25, vocab)
+        assert text.count("\n") == 25
+
+
+class TestProfiles:
+    def test_known_profiles_exist(self):
+        for name in ("dionea", "rust", "linux", "tiny"):
+            assert name in PROFILES
+
+    def test_sizes_ordered_like_the_paper(self):
+        """small (dionea) < medium (rust) < large (linux)."""
+        assert (PROFILES["dionea"].approx_lines
+                < PROFILES["rust"].approx_lines
+                < PROFILES["linux"].approx_lines)
+        # byte-level check on the small generated profiles
+        tiny = corpus_stats(get_profile("tiny"))
+        small = corpus_stats(get_profile("small"))
+        assert tiny["bytes"] < small["bytes"]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(CorpusError):
+            get_profile("windows")
+
+    def test_corpus_deterministic(self):
+        profile = get_profile("tiny")
+        assert generate_corpus(profile) == generate_corpus(profile)
+
+    def test_corpus_shape(self):
+        profile = get_profile("tiny")
+        files = generate_corpus(profile)
+        assert len(files) == profile.n_files
+        for path, text in files:
+            assert path.endswith(".src")
+            assert text.count("\n") == profile.lines_per_file
+
+
+class TestWriteCorpus:
+    def test_materialises_on_disk(self, tmp_path):
+        profile = get_profile("tiny")
+        paths = write_corpus(profile, str(tmp_path))
+        assert len(paths) == profile.n_files
+        for path in paths:
+            assert os.path.isfile(path)
+        in_memory = dict(generate_corpus(profile))
+        rel = os.path.relpath(paths[0], os.path.join(str(tmp_path), "tiny"))
+        with open(paths[0], encoding="utf-8") as fh:
+            assert fh.read() == in_memory[rel.replace(os.sep, "/")]

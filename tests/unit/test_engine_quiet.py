@@ -1,0 +1,128 @@
+"""Unit tests: the engine's fast-path quiet flag (performance contract).
+
+The §7 overhead band depends on `_quiet` being True exactly when no
+debugging feature is live; every toggle path must invalidate it.
+"""
+
+import pytest
+
+from repro.core.disturb import DisturbMode
+from repro.tracing.engine import TraceEngine
+from repro.util.ids import UEId
+
+UE = UEId(1, 1)
+
+
+@pytest.fixture
+def engine():
+    return TraceEngine(park_timeout=0.1)
+
+
+class TestQuietTransitions:
+    def test_starts_quiet(self, engine):
+        assert engine._quiet
+
+    def test_breakpoint_add_remove(self, engine):
+        bp = engine.breakpoints.add("/f.py", 1)
+        assert not engine._quiet
+        engine.breakpoints.remove(bp.id)
+        assert engine._quiet
+
+    def test_function_breakpoint(self, engine):
+        bp = engine.breakpoints.add_function("f")
+        assert not engine._quiet
+        engine.breakpoints.remove(bp.id)
+        assert engine._quiet
+
+    def test_breakpoint_clear(self, engine):
+        engine.breakpoints.add("/f.py", 1)
+        engine.breakpoints.add("/g.py", 2)
+        engine.breakpoints.clear()
+        assert engine._quiet
+
+    def test_watchpoint_toggle(self, engine):
+        watch = engine.watchpoints.add("x")
+        assert not engine._quiet
+        engine.watchpoints.remove(watch.id)
+        assert engine._quiet
+
+    def test_exception_breaks_toggle(self, engine):
+        engine.set_exception_breaks(True)
+        assert not engine._quiet
+        engine.set_exception_breaks(False)
+        assert engine._quiet
+
+    def test_suspend_request_and_resume_all(self, engine):
+        engine.controller.request_suspend(UE)
+        engine.refresh_quiet()
+        assert not engine._quiet
+        engine.resume_all()
+        assert engine._quiet
+
+    def test_suspend_all_and_resume_all(self, engine):
+        engine.request_suspend_all()
+        assert not engine._quiet
+        engine.resume_all()
+        assert engine._quiet
+
+    def test_disturb_toggle_via_on_change(self):
+        disturb = DisturbMode()
+        engine = TraceEngine(disturb=disturb, park_timeout=0.1)
+        disturb.on_change = engine.refresh_quiet
+        assert engine._quiet
+        disturb.set_enabled(True)
+        assert not engine._quiet
+        disturb.set_enabled(False)
+        assert engine._quiet
+
+    def test_reset_after_fork_recomputes(self, engine):
+        engine.controller.request_suspend(UE)
+        engine.refresh_quiet()
+        assert not engine._quiet
+        engine.reset_after_fork()
+        assert engine._quiet  # pending suspends died with parent UEs
+
+
+class TestQuietBehaviour:
+    """Dispatch decisions, driven directly (no sys.settrace installed —
+    the installed flag is set by hand so dispatch proceeds)."""
+
+    @pytest.fixture(autouse=True)
+    def mark_installed(self, engine):
+        engine._installed = True
+        yield
+        engine._installed = False
+
+    def test_quiet_dispatch_returns_none(self, engine):
+        import sys
+        frame = sys._getframe()
+        assert engine._global_dispatch(frame, "call", None) is None
+
+    def test_nonquiet_dispatch_returns_local(self, engine):
+        import sys
+        engine.breakpoints.add("/elsewhere.py", 5)
+        frame = sys._getframe()
+        # non-quiet but nothing relevant to THIS frame: local tracing is
+        # declined (no breakpoint in this file, no stepping)
+        result = engine._global_dispatch(frame, "call", None)
+        assert result is None
+
+    def test_watchpoints_force_local_tracing(self, engine):
+        import sys
+        engine.watchpoints.add("whatever")
+        frame = sys._getframe()
+        result = engine._global_dispatch(frame, "call", None)
+        assert result == engine._local_dispatch
+
+    def test_exception_breaks_force_local_tracing(self, engine):
+        import sys
+        engine.set_exception_breaks(True)
+        frame = sys._getframe()
+        assert engine._global_dispatch(frame, "call", None) == \
+            engine._local_dispatch
+
+    def test_event_counter_still_counts_when_quiet(self, engine):
+        import sys
+        before = engine.event_count
+        engine._global_dispatch(sys._getframe(), "call", None)
+        assert engine.event_count == before + 1

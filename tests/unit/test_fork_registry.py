@@ -1,0 +1,179 @@
+"""Unit tests: ordered fork-handler registry (repro.forkhooks.registry).
+
+The ordering discipline is POSIX pthread_atfork's: prepare runs in
+reverse registration order, parent/child in registration order
+(paper section 5.2 relies on composing with foreign handlers).
+"""
+
+import pytest
+
+from repro.forkhooks.registry import (
+    ForkHandlerRegistry,
+    HandlerSet,
+    run_around_fork,
+)
+from repro.util.errors import ForkHookError
+
+
+@pytest.fixture
+def registry():
+    return ForkHandlerRegistry()
+
+
+class TestRegistration:
+    def test_register_and_labels(self, registry):
+        registry.register("a", prepare=lambda: None)
+        registry.register("b", child=lambda: None)
+        assert registry.labels == ["a", "b"]
+
+    def test_empty_handler_set_rejected(self):
+        with pytest.raises(ForkHookError):
+            HandlerSet(label="empty")
+
+    def test_duplicate_label_rejected(self, registry):
+        registry.register("dup", prepare=lambda: None)
+        with pytest.raises(ForkHookError):
+            registry.register("dup", parent=lambda: None)
+
+    def test_unregister(self, registry):
+        registry.register("x", prepare=lambda: None)
+        registry.unregister("x")
+        assert registry.labels == []
+
+    def test_unregister_unknown_raises(self, registry):
+        with pytest.raises(ForkHookError):
+            registry.unregister("ghost")
+
+    def test_clear(self, registry):
+        registry.register("x", prepare=lambda: None)
+        registry.clear()
+        assert registry.labels == []
+
+
+class TestPhaseOrdering:
+    def test_prepare_reverse_parent_child_forward(self, registry):
+        calls = []
+        for name in ("first", "second", "third"):
+            registry.register(
+                name,
+                prepare=lambda n=name: calls.append(f"prep:{n}"),
+                parent=lambda n=name: calls.append(f"par:{n}"),
+                child=lambda n=name: calls.append(f"chi:{n}"))
+        registry.run_prepare()
+        assert calls == ["prep:third", "prep:second", "prep:first"]
+        calls.clear()
+        registry.run_parent()
+        assert calls == ["par:first", "par:second", "par:third"]
+        calls.clear()
+        registry.run_child()
+        assert calls == ["chi:first", "chi:second", "chi:third"]
+
+    def test_missing_phases_skipped(self, registry):
+        calls = []
+        registry.register("only-child", child=lambda: calls.append("c"))
+        registry.run_prepare()
+        registry.run_parent()
+        registry.run_child()
+        assert calls == ["c"]
+
+
+class TestPrepareFailure:
+    def test_failure_unwinds_already_prepared(self, registry):
+        calls = []
+        registry.register("inner",
+                          prepare=lambda: calls.append("prep:inner"),
+                          parent=lambda: calls.append("undo:inner"))
+
+        def bad_prepare():
+            calls.append("prep:bad")
+            raise RuntimeError("no fork for you")
+
+        # registered later => runs FIRST in prepare; 'inner' then fails?
+        # No: we want bad to fail after inner prepared, so bad must run
+        # second => register bad first.
+        registry.clear()
+        calls.clear()
+        registry.register("bad", prepare=bad_prepare,
+                          parent=lambda: calls.append("undo:bad"))
+        registry.register("inner",
+                          prepare=lambda: calls.append("prep:inner"),
+                          parent=lambda: calls.append("undo:inner"))
+        with pytest.raises(ForkHookError):
+            registry.run_prepare()
+        # inner prepared (reverse order: inner first), bad failed, inner
+        # unwound via its parent callback.
+        assert calls == ["prep:inner", "prep:bad", "undo:inner"]
+
+    def test_unwind_failure_recorded_not_raised(self, registry):
+        def bad_undo():
+            raise ValueError("undo broke")
+
+        # prepare runs in reverse registration order, so 'failing' must be
+        # registered FIRST to run second — after 'a' already prepared.
+        registry.register("failing",
+                          prepare=lambda: (_ for _ in ()).throw(
+                              RuntimeError("prep fails")))
+        registry.register("a", prepare=lambda: None, parent=bad_undo)
+        with pytest.raises(ForkHookError):
+            registry.run_prepare()
+        assert any(f.phase == "unwind" for f in registry.failures)
+
+
+class TestContainedFailures:
+    def test_parent_failure_recorded_others_run(self, registry):
+        calls = []
+        registry.register("bad", parent=lambda: 1 / 0)
+        registry.register("good", parent=lambda: calls.append("ok"))
+        registry.run_parent()
+        assert calls == ["ok"]
+        failures = registry.failures
+        assert len(failures) == 1
+        assert failures[0].label == "bad"
+        assert failures[0].phase == "parent"
+        assert isinstance(failures[0].exception, ZeroDivisionError)
+
+    def test_child_failure_recorded_others_run(self, registry):
+        calls = []
+        registry.register("bad", child=lambda: 1 / 0)
+        registry.register("good", child=lambda: calls.append("ok"))
+        registry.run_child()
+        assert calls == ["ok"]
+        assert registry.failures[0].phase == "child"
+
+    def test_clear_failures(self, registry):
+        registry.register("bad", parent=lambda: 1 / 0)
+        registry.run_parent()
+        registry.clear_failures()
+        assert registry.failures == []
+
+
+class TestRunAroundFork:
+    def test_parent_path(self, registry):
+        calls = []
+        registry.register("h", prepare=lambda: calls.append("A"),
+                          parent=lambda: calls.append("B"),
+                          child=lambda: calls.append("C"))
+        pid, is_child = run_around_fork(registry, lambda: 1234)
+        assert (pid, is_child) == (1234, False)
+        assert calls == ["A", "B"]
+
+    def test_child_path(self, registry):
+        calls = []
+        registry.register("h", prepare=lambda: calls.append("A"),
+                          parent=lambda: calls.append("B"),
+                          child=lambda: calls.append("C"))
+        pid, is_child = run_around_fork(registry, lambda: 0)
+        assert (pid, is_child) == (0, True)
+        assert calls == ["A", "C"]
+
+    def test_fork_failure_releases_prepare(self, registry):
+        calls = []
+        registry.register("h", prepare=lambda: calls.append("A"),
+                          parent=lambda: calls.append("B"))
+
+        def failing_fork():
+            raise OSError("EAGAIN")
+
+        with pytest.raises(OSError):
+            run_around_fork(registry, failing_fork)
+        assert calls == ["A", "B"]

@@ -1,0 +1,107 @@
+"""Unit tests: stack capture and rendering (repro.tracing.frames)."""
+
+import json
+import sys
+
+from repro.tracing.frames import (
+    FrameInfo,
+    StackCapture,
+    capture_frame,
+    capture_stack,
+    evaluate_in_frame,
+    frame_location,
+    source_line,
+)
+
+
+def grab_frame():
+    """A real frame with known locals."""
+    local_x = 41  # noqa: F841 - inspected via the frame
+    return sys._getframe()
+
+
+class TestCaptureFrame:
+    def test_captures_location_and_locals(self):
+        frame = grab_frame()
+        info = capture_frame(frame)
+        assert info.file.endswith("test_frames.py")
+        assert info.function == "grab_frame"
+        assert info.locals["local_x"] == "41"
+
+    def test_source_text_present(self):
+        frame = grab_frame()
+        info = capture_frame(frame)
+        assert "return sys._getframe()" in info.source
+
+    def test_without_locals(self):
+        info = capture_frame(grab_frame(), with_locals=False)
+        assert info.locals == {}
+
+
+class TestCaptureStack:
+    def _inner(self, depth):
+        if depth:
+            return self._inner(depth - 1)
+        return capture_stack(sys._getframe(), reason="test")
+
+    def test_innermost_first(self):
+        capture = self._inner(3)
+        assert capture.frames[0].function == "_inner"
+        functions = [f.function for f in capture.frames]
+        assert functions.count("_inner") == 4
+
+    def test_max_depth_bounds_stack(self):
+        capture = capture_stack(self._inner(10).frames and sys._getframe(),
+                                reason="r", max_depth=2)
+        assert len(capture.frames) == 2
+
+    def test_locals_depth_limits_rendering(self):
+        capture = self._inner(5)
+        rendered = [bool(f.locals) for f in capture.frames[:4]]
+        assert rendered[0] and rendered[1]
+        assert not rendered[2] and not rendered[3]
+
+    def test_reason_and_breakpoint_id(self):
+        capture = capture_stack(sys._getframe(), reason="breakpoint",
+                                breakpoint_id=7)
+        assert capture.reason == "breakpoint"
+        assert capture.breakpoint_id == 7
+
+
+class TestWireRoundtrip:
+    def test_frame_info_roundtrip(self):
+        info = FrameInfo(file="f.py", line=3, function="g",
+                         source="x = 1", locals={"x": "1"})
+        assert FrameInfo.from_wire(info.to_wire()) == info
+
+    def test_stack_capture_roundtrip(self):
+        capture = capture_stack(sys._getframe(), reason="step")
+        wire = capture.to_wire()
+        json.dumps(wire)  # must be JSON-safe
+        back = StackCapture.from_wire(wire)
+        assert back.reason == "step"
+        assert back.frames[0].function == capture.frames[0].function
+
+    def test_top_of_empty_capture(self):
+        assert StackCapture(frames=[], reason="x").top is None
+
+
+class TestHelpers:
+    def test_source_line_reads_this_file(self):
+        line = source_line(__file__, 1)
+        assert "Unit tests" in line
+
+    def test_source_line_missing_file(self):
+        assert source_line("/no/such/file.py", 1) == ""
+
+    def test_frame_location_format(self):
+        location = frame_location(sys._getframe())
+        assert "test_frames.py" in location
+        assert "test_frame_location_format" in location
+
+    def test_evaluate_in_frame(self):
+        y = 10  # noqa: F841
+        assert evaluate_in_frame(sys._getframe(), "y * 2") == 20
+
+    def test_evaluate_sees_globals(self):
+        assert evaluate_in_frame(sys._getframe(), "__name__") == __name__

@@ -1,0 +1,148 @@
+"""Unit tests: debuggee I/O capture (repro.server.iocapture)."""
+
+import io
+import sys
+
+import pytest
+
+from repro.server.iocapture import InputFeed, OutputCapture, _TeeStream
+
+
+@pytest.fixture
+def capture():
+    cap = OutputCapture()
+    yield cap
+    cap.uninstall()
+
+
+class TestTee:
+    def test_write_reaches_real_stream_and_buffer(self):
+        real = io.StringIO()
+        cap = OutputCapture()
+        tee = _TeeStream(real, "stdout", cap)
+        tee.write("hello ")
+        tee.write("world")
+        assert real.getvalue() == "hello world"
+        assert cap.snapshot() == "hello world"
+
+    def test_writelines(self):
+        real = io.StringIO()
+        cap = OutputCapture()
+        tee = _TeeStream(real, "stdout", cap)
+        tee.writelines(["a\n", "b\n"])
+        assert cap.snapshot() == "a\nb\n"
+
+    def test_stream_filter(self):
+        cap = OutputCapture()
+        out = _TeeStream(io.StringIO(), "stdout", cap)
+        err = _TeeStream(io.StringIO(), "stderr", cap)
+        out.write("to out")
+        err.write("to err")
+        assert cap.snapshot("stdout") == "to out"
+        assert cap.snapshot("stderr") == "to err"
+        assert cap.snapshot() == "to outto err"
+
+    def test_empty_write_not_recorded(self):
+        cap = OutputCapture()
+        tee = _TeeStream(io.StringIO(), "stdout", cap)
+        tee.write("")
+        assert cap.snapshot() == ""
+
+    def test_buffer_bounded(self):
+        cap = OutputCapture(max_chunks=5)
+        tee = _TeeStream(io.StringIO(), "stdout", cap)
+        for i in range(20):
+            tee.write(f"[{i}]")
+        text = cap.snapshot()
+        assert "[19]" in text and "[0]" not in text
+
+    def test_callback_invoked(self):
+        events = []
+        cap = OutputCapture(on_output=lambda s, t: events.append((s, t)))
+        tee = _TeeStream(io.StringIO(), "stderr", cap)
+        tee.write("oops")
+        assert events == [("stderr", "oops")]
+
+    def test_callback_failure_contained(self):
+        cap = OutputCapture(on_output=lambda s, t: 1 / 0)
+        tee = _TeeStream(io.StringIO(), "stdout", cap)
+        tee.write("still works")
+        assert cap.snapshot() == "still works"
+
+
+class TestInstall:
+    def test_install_swaps_sys_streams(self, capture):
+        original = sys.stdout
+        capture.install()
+        assert sys.stdout is not original
+        print("captured line")
+        assert "captured line" in capture.snapshot("stdout")
+        capture.uninstall()
+        assert sys.stdout is original
+
+    def test_install_idempotent(self, capture):
+        capture.install()
+        wrapped = sys.stdout
+        capture.install()
+        assert sys.stdout is wrapped
+
+    def test_context_manager(self):
+        original = sys.stdout
+        with OutputCapture() as cap:
+            print("inside")
+            assert "inside" in cap.snapshot()
+        assert sys.stdout is original
+
+    def test_reset_after_fork_clears(self, capture):
+        capture.install()
+        print("parent output")
+        capture.reset_after_fork()
+        assert capture.snapshot() == ""
+
+    def test_clear(self, capture):
+        capture.install()
+        print("x")
+        capture.clear()
+        assert capture.snapshot() == ""
+
+
+class TestInputFeed:
+    def test_feed_and_read(self):
+        feed = InputFeed()
+        feed.install()
+        try:
+            feed.feed("first line\n")
+            assert sys.stdin.readline() == "first line\n"
+        finally:
+            feed.uninstall()
+
+    def test_input_builtin(self):
+        feed = InputFeed()
+        feed.install()
+        try:
+            feed.feed("typed answer\n")
+            assert input() == "typed answer"
+        finally:
+            feed.uninstall()
+
+    def test_eof_after_close(self):
+        feed = InputFeed()
+        feed.install()
+        try:
+            feed.feed("only\n")
+            feed.close_input()
+            assert sys.stdin.readline() == "only\n"
+            assert sys.stdin.readline() == ""  # EOF
+        finally:
+            feed.uninstall()
+
+    def test_feed_without_install_rejected(self):
+        with pytest.raises(ValueError):
+            InputFeed().feed("x")
+
+    def test_uninstall_restores_stdin(self):
+        original = sys.stdin
+        feed = InputFeed()
+        feed.install()
+        feed.uninstall()
+        assert sys.stdin is original

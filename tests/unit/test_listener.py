@@ -1,0 +1,164 @@
+"""Unit tests: the Reactor listener thread (repro.server.listener).
+
+Exercised with raw sockets speaking the framed protocol, no DebugServer
+involved — these tests pin down the reactor behaviours the server builds
+on: hello adoption, role filtering, broadcast, bad-peer containment.
+"""
+
+import socket
+
+import pytest
+
+from repro.server import protocol
+from repro.server.listener import Listener
+from repro.server.sockets import ListenEndpoint
+from repro.util.framing import encode_frame, recv_frame, send_frame
+
+
+class Harness:
+    def __init__(self, on_request=None):
+        self.requests = []
+        self.hellos = []
+        self.disconnects = []
+        self.endpoint = ListenEndpoint()
+        self.listener = Listener(
+            self.endpoint,
+            on_request=on_request or self._record_request,
+            on_hello=lambda conn, hello: self.hellos.append(hello),
+            on_disconnect=lambda conn: self.disconnects.append(conn),
+        )
+        self.listener.start()
+
+    def _record_request(self, conn, message):
+        self.requests.append(message)
+        conn.send(protocol.make_response(message["id"], {"echo": True}))
+
+    def dial(self, role=protocol.ROLE_COMMAND):
+        sock = socket.create_connection(("127.0.0.1", self.endpoint.port),
+                                        timeout=5)
+        send_frame(sock, protocol.make_hello(role, pid=1, session_token="t"))
+        return sock
+
+    def close(self):
+        self.listener.close()
+
+
+@pytest.fixture
+def harness(waiter):
+    h = Harness()
+    yield h
+    h.close()
+
+
+class TestConnectionLifecycle:
+    def test_hello_adopts_role(self, harness, waiter):
+        sock = harness.dial(protocol.ROLE_SOURCE)
+        waiter(lambda: len(harness.hellos) == 1, message="hello")
+        conns = harness.listener.connections(role=protocol.ROLE_SOURCE)
+        assert len(conns) == 1
+        sock.close()
+
+    def test_request_dispatch_and_response(self, harness, waiter):
+        sock = harness.dial()
+        waiter(lambda: harness.hellos, message="hello")
+        send_frame(sock, protocol.make_request(9, "anything", {"k": 1}))
+        response = recv_frame(sock)
+        assert response["id"] == 9 and response["ok"]
+        assert harness.requests[0]["command"] == "anything"
+        sock.close()
+
+    def test_disconnect_detected(self, harness, waiter):
+        sock = harness.dial()
+        waiter(lambda: harness.hellos, message="hello")
+        sock.close()
+        waiter(lambda: harness.disconnects, message="disconnect callback")
+
+    def test_multiple_connections_tracked(self, harness, waiter):
+        socks = [harness.dial(protocol.ROLE_COMMAND),
+                 harness.dial(protocol.ROLE_SOURCE)]
+        waiter(lambda: len(harness.hellos) == 2, message="both hellos")
+        assert len(harness.listener.connections()) == 2
+        assert len(harness.listener.connections(
+            role=protocol.ROLE_COMMAND)) == 1
+        for sock in socks:
+            sock.close()
+
+
+class TestBroadcast:
+    def test_event_reaches_command_role_only(self, harness, waiter):
+        cmd = harness.dial(protocol.ROLE_COMMAND)
+        src = harness.dial(protocol.ROLE_SOURCE)
+        waiter(lambda: len(harness.hellos) == 2, message="hellos")
+        sent = harness.listener.broadcast_event(
+            protocol.make_event("stopped", {"x": 1}))
+        assert sent == 1
+        message = recv_frame(cmd)
+        assert message["event"] == "stopped"
+        src.settimeout(0.2)
+        with pytest.raises(socket.timeout):
+            src.recv(1)
+        cmd.close()
+        src.close()
+
+    def test_broadcast_with_no_connections(self, harness):
+        assert harness.listener.broadcast_event(
+            protocol.make_event("x")) == 0
+
+
+class TestHostilePeers:
+    def test_bad_hello_drops_connection(self, harness, waiter):
+        sock = socket.create_connection(
+            ("127.0.0.1", harness.endpoint.port), timeout=5)
+        send_frame(sock, {"type": "hello", "version": 1, "role": "evil"})
+        waiter(lambda: harness.disconnects, message="drop")
+        assert harness.listener.connections() == []
+        sock.close()
+
+    def test_garbage_bytes_drop_connection(self, harness, waiter):
+        sock = harness.dial()
+        waiter(lambda: harness.hellos, message="hello")
+        sock.sendall(b"\xff" * 64)
+        waiter(lambda: harness.disconnects, message="drop")
+        sock.close()
+
+    def test_request_before_hello_rejected(self, harness, waiter):
+        sock = socket.create_connection(
+            ("127.0.0.1", harness.endpoint.port), timeout=5)
+        send_frame(sock, protocol.make_request(1, "threads"))
+        waiter(lambda: harness.disconnects, message="drop")
+        assert harness.requests == []
+        sock.close()
+
+    def test_handler_exception_becomes_error_response(self, waiter):
+        def explode(conn, message):
+            raise RuntimeError("handler bug")
+
+        harness = Harness(on_request=explode)
+        try:
+            sock = harness.dial()
+            waiter(lambda: harness.hellos, message="hello")
+            send_frame(sock, protocol.make_request(4, "x"))
+            response = recv_frame(sock)
+            assert not response["ok"]
+            assert "handler bug" in response["error"]["message"]
+            # listener still alive: a second request gets served
+            send_frame(sock, protocol.make_request(5, "x"))
+            assert recv_frame(sock)["id"] == 5
+            sock.close()
+        finally:
+            harness.close()
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, harness):
+        from repro.util.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            harness.listener.start()
+
+    def test_close_closes_endpoint_and_connections(self, harness, waiter):
+        sock = harness.dial()
+        waiter(lambda: harness.hellos, message="hello")
+        harness.close()
+        assert not harness.listener.running
+        assert recv_frame(sock) is None  # server side closed
+        sock.close()

@@ -1,0 +1,83 @@
+"""Unit tests: the MapReduce engine (repro.mapreduce.engine)."""
+
+import pytest
+
+from repro.corpus import generate_corpus, get_profile
+from repro.mapreduce import (
+    MapReduceEngine,
+    MapReduceJob,
+    map_wordcount,
+    merge_counts,
+    reduce_wordcount,
+    run_wordcount,
+)
+from repro.util.errors import PoolError
+
+pytestmark = pytest.mark.forks
+
+
+def map_lengths(item):
+    """Toy mapper: word → its length (last one wins in reduce)."""
+    return {word: len(word) for word in item.split()}
+
+
+def reduce_max(key, values):
+    return max(values)
+
+
+class TestEngine:
+    def test_wordcount_matches_serial_reference(self):
+        docs = generate_corpus(get_profile("tiny"))
+        expected = merge_counts(map_wordcount(d) for d in docs)
+        got = run_wordcount(docs, n_workers=3, timeout=30)
+        assert got == expected
+
+    def test_custom_job(self):
+        engine = MapReduceEngine(n_workers=2, chunksize=2)
+        job = MapReduceJob(map_func=map_lengths, reduce_func=reduce_max)
+        result = engine.run(job, ["aa bbb", "bbb cccc", "aa"], timeout=30)
+        assert result == {"aa": 2, "bbb": 3, "cccc": 4}
+
+    def test_empty_inputs(self):
+        engine = MapReduceEngine(n_workers=2)
+        job = MapReduceJob(map_func=map_lengths, reduce_func=reduce_max)
+        assert engine.run(job, [], timeout=30) == {}
+
+    def test_single_worker(self):
+        docs = generate_corpus(get_profile("tiny"))
+        expected = merge_counts(map_wordcount(d) for d in docs)
+        assert run_wordcount(docs, n_workers=1, timeout=30) == expected
+
+    def test_chunksize_does_not_change_result(self):
+        docs = generate_corpus(get_profile("tiny"))
+        a = run_wordcount(docs, n_workers=2, chunksize=1, timeout=30)
+        b = run_wordcount(docs, n_workers=2, chunksize=5, timeout=30)
+        assert a == b
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(PoolError):
+            MapReduceEngine(n_workers=0)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        docs = generate_corpus(get_profile("tiny"))
+        engine = MapReduceEngine(n_workers=3, chunksize=2)
+        job = MapReduceJob(map_func=map_wordcount,
+                           reduce_func=reduce_wordcount)
+        result = engine.run(job, docs, timeout=30)
+        stats = engine.last_stats
+        assert stats.inputs == len(docs)
+        assert stats.map_tasks == (len(docs) + 1) // 2
+        assert stats.distinct_keys == len(result)
+        assert len(stats.worker_pids) == 3
+        assert sum(stats.map_worker_spread.values()) == stats.map_tasks
+
+    def test_multiple_workers_participate(self):
+        """The shared-queue property behind §6.3's work stealing."""
+        docs = generate_corpus(get_profile("small"))
+        engine = MapReduceEngine(n_workers=4, chunksize=1)
+        job = MapReduceJob(map_func=map_wordcount,
+                           reduce_func=reduce_wordcount)
+        engine.run(job, docs, timeout=60)
+        assert len(engine.last_stats.map_worker_spread) >= 2

@@ -1,0 +1,69 @@
+"""Unit tests: client-side process tree (repro.core.metadata)."""
+
+import json
+
+from repro.core.metadata import ProcessTree
+
+
+class TestObserve:
+    def test_observe_and_len(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1)
+        tree.observe(pid=20, parent_pid=10)
+        assert len(tree) == 2
+
+    def test_observe_refreshes(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1, program=None)
+        tree.observe(pid=10, parent_pid=1, program="app")
+        roots = tree.roots()
+        assert roots[0].program == "app"
+
+    def test_mark_exited(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1)
+        tree.mark_exited(10)
+        assert not tree.roots()[0].alive
+
+
+class TestForest:
+    def test_children_nest_under_parent(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1)
+        tree.observe(pid=11, parent_pid=10)
+        tree.observe(pid=12, parent_pid=10)
+        tree.observe(pid=13, parent_pid=11)
+        roots = tree.roots()
+        assert [r.pid for r in roots] == [10]
+        assert [c.pid for c in roots[0].children] == [11, 12]
+        assert roots[0].children[0].children[0].pid == 13
+
+    def test_unknown_parent_makes_root(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=999)
+        tree.observe(pid=20, parent_pid=888)
+        assert [r.pid for r in tree.roots()] == [10, 20]
+
+    def test_to_dict_is_json_safe(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1, program="p",
+                     fork_generation=0)
+        tree.observe(pid=11, parent_pid=10, fork_generation=1)
+        payload = [r.to_dict() for r in tree.roots()]
+        json.dumps(payload)
+        assert payload[0]["children"][0]["fork_generation"] == 1
+
+
+class TestRender:
+    def test_render_indents_by_depth(self):
+        tree = ProcessTree()
+        tree.observe(pid=10, parent_pid=1, program="main")
+        tree.observe(pid=11, parent_pid=10)
+        tree.mark_exited(11)
+        text = tree.render()
+        lines = text.splitlines()
+        assert lines[0] == "process 10 [main]"
+        assert lines[1] == "  process 11 (exited)"
+
+    def test_render_empty(self):
+        assert ProcessTree().render() == ""

@@ -1,0 +1,133 @@
+"""Unit tests: the cross-process barrier (repro.mp.synchronize.Barrier)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.mp.synchronize import Barrier
+from repro.util.errors import SyncObjectError
+
+
+class TestThreads:
+    def test_single_party_passes_immediately(self):
+        barrier = Barrier(1)
+        assert barrier.wait(timeout=2.0)
+        barrier.close()
+
+    def test_invalid_parties(self):
+        with pytest.raises(SyncObjectError):
+            Barrier(0)
+
+    def test_no_one_passes_early(self):
+        barrier = Barrier(3)
+        passed = []
+
+        def party():
+            if barrier.wait(timeout=5.0):
+                passed.append(time.monotonic())
+
+        threads = [threading.Thread(target=party) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        assert passed == [], "parties passed before the barrier filled"
+        third = threading.Thread(target=party)
+        third.start()
+        for t in threads + [third]:
+            t.join(5.0)
+        assert len(passed) == 3
+        barrier.close()
+
+    def test_timeout_returns_false(self):
+        barrier = Barrier(2)
+        start = time.monotonic()
+        assert not barrier.wait(timeout=0.2)
+        assert time.monotonic() - start >= 0.15
+        barrier.close()
+
+    def test_cyclic_reuse(self):
+        barrier = Barrier(2)
+        results = []
+
+        def cycles():
+            for _ in range(5):
+                results.append(barrier.wait(timeout=5.0))
+
+        threads = [threading.Thread(target=cycles) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert results == [True] * 10
+        barrier.close()
+
+    def test_phase_ordering(self):
+        """Work before the barrier is visible to everyone after it."""
+        barrier = Barrier(4)
+        pre = []
+        post_observations = []
+        lock = threading.Lock()
+
+        def party(i):
+            with lock:
+                pre.append(i)
+            assert barrier.wait(timeout=5.0)
+            with lock:
+                post_observations.append(len(pre))
+
+        threads = [threading.Thread(target=party, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5.0)
+        assert all(seen == 4 for seen in post_observations)
+        barrier.close()
+
+
+@pytest.mark.forks
+class TestProcesses:
+    def test_barrier_across_fork(self):
+        """Children and parent synchronise through the shared pipes."""
+        barrier = Barrier(3)
+        pids = []
+        for _ in range(2):
+            pid = os.fork()
+            if pid == 0:
+                ok = barrier.wait(timeout=10.0)
+                os._exit(0 if ok else 1)
+            pids.append(pid)
+        assert barrier.wait(timeout=10.0)
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            assert os.waitstatus_to_exitcode(status) == 0
+        barrier.close()
+
+    def test_children_align_phases(self):
+        """Barrier-separated phases: all phase-1 writes complete before
+        any phase-2 read (verified through shared memory)."""
+        from repro.mp.sharedmem import SharedArray
+        n = 3
+        barrier = Barrier(n)
+        phase1 = SharedArray("q", n)
+        ok = SharedArray("B", n)
+        pids = []
+        for i in range(n - 1):
+            pid = os.fork()
+            if pid == 0:
+                phase1[i] = i + 1
+                barrier.wait(timeout=10.0)
+                ok[i] = 1 if sum(phase1) == sum(range(1, n + 1)) else 0
+                os._exit(0)
+            pids.append(pid)
+        phase1[n - 1] = n
+        barrier.wait(timeout=10.0)
+        ok[n - 1] = 1 if sum(phase1) == sum(range(1, n + 1)) else 0
+        for pid in pids:
+            os.waitpid(pid, 0)
+        assert ok.tolist() == [1] * n
+        barrier.close()
+        phase1.close()
+        ok.close()

@@ -1,0 +1,153 @@
+"""Unit tests: executor facade (repro.mp.futures)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.mp.futures import Future, ProcessPoolExecutor, as_completed
+from repro.mp.pool import RemoteError
+from repro.util.errors import PoolError
+
+pytestmark = pytest.mark.forks
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+def crash(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def slow(x):
+    time.sleep(x)
+    return x
+
+
+class TestSubmit:
+    def test_submit_result(self):
+        with ProcessPoolExecutor(2) as pool:
+            assert pool.submit(square, 6).result(10) == 36
+
+    def test_submit_kwargs(self):
+        with ProcessPoolExecutor(2) as pool:
+            assert pool.submit(add, 1, b=2).result(10) == 3
+
+    def test_done_transitions(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(slow, 0.2)
+            assert future.running() and not future.done()
+            assert future.result(10) == 0.2
+            assert future.done() and not future.running()
+
+    def test_exception_result_raises(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(crash, 5)
+            with pytest.raises(RemoteError, match="boom 5"):
+                future.result(10)
+            assert isinstance(future.exception(10), RemoteError)
+
+    def test_exception_none_on_success(self):
+        with ProcessPoolExecutor(1) as pool:
+            assert pool.submit(square, 2).exception(10) is None
+
+    def test_cancel_unsupported(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(square, 2)
+            assert future.cancel() is False
+            assert future.cancelled() is False
+            future.result(10)
+
+    def test_worker_pid_is_a_child(self):
+        with ProcessPoolExecutor(2) as pool:
+            future = pool.submit(os.getpid)
+            child = future.result(10)
+            assert future.worker_pid == child != os.getpid()
+
+
+class TestMap:
+    def test_ordered_results(self):
+        with ProcessPoolExecutor(3) as pool:
+            assert list(pool.map(square, range(10))) == \
+                [x * x for x in range(10)]
+
+    def test_multiple_iterables(self):
+        with ProcessPoolExecutor(2) as pool:
+            assert list(pool.map(add, [1, 2, 3], [10, 20, 30])) == \
+                [11, 22, 33]
+
+    def test_map_is_lazy_but_submitted_eagerly(self):
+        with ProcessPoolExecutor(2) as pool:
+            iterator = pool.map(square, [4])
+            assert next(iterator) == 16
+
+
+class TestShutdown:
+    def test_submit_after_shutdown_rejected(self):
+        pool = ProcessPoolExecutor(1)
+        pool.shutdown()
+        with pytest.raises(PoolError):
+            pool.submit(square, 1)
+
+    def test_shutdown_idempotent(self):
+        pool = ProcessPoolExecutor(1)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_context_manager_waits(self):
+        with ProcessPoolExecutor(2) as pool:
+            futures = [pool.submit(square, i) for i in range(4)]
+        assert [f.result(1) for f in futures] == [0, 1, 4, 9]
+
+
+class TestCallbacks:
+    def test_done_callback_fires(self):
+        fired = threading.Event()
+        box = {}
+
+        def callback(future):
+            box["value"] = future.result(1)
+            fired.set()
+
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(square, 7)
+            future.add_done_callback(callback)
+            assert fired.wait(10)
+            assert box["value"] == 49
+
+    def test_callback_on_already_done_future(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(square, 3)
+            future.result(10)
+            seen = []
+            future.add_done_callback(lambda f: seen.append(f.result(1)))
+            assert seen == [9]
+
+    def test_callback_exception_contained(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(square, 2)
+            future.add_done_callback(lambda f: 1 / 0)
+            assert future.result(10) == 4  # executor unharmed
+
+
+class TestAsCompleted:
+    def test_yields_in_completion_order(self):
+        with ProcessPoolExecutor(2) as pool:
+            slow_future = pool.submit(slow, 0.4)
+            fast_future = pool.submit(slow, 0.05)
+            ordered = list(as_completed([slow_future, fast_future]))
+            assert ordered[0] is fast_future
+            assert ordered[1] is slow_future
+
+    def test_timeout_raises(self):
+        with ProcessPoolExecutor(1) as pool:
+            future = pool.submit(slow, 2.0)
+            with pytest.raises(PoolError):
+                list(as_completed([future], timeout=0.1))
+            future.result(10)

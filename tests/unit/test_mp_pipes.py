@@ -1,0 +1,183 @@
+"""Unit tests: Connection and Pipe (repro.mp.pipes)."""
+
+import os
+import threading
+
+import pytest
+
+from repro.mp.pipes import Connection, Pipe, open_connections
+from repro.util.errors import QueueClosed
+
+
+class TestPipeBasics:
+    def test_one_way_roles(self):
+        reader, writer = Pipe()
+        assert reader.readable and not reader.writable
+        assert writer.writable and not writer.readable
+        reader.close()
+        writer.close()
+
+    def test_send_recv(self):
+        reader, writer = Pipe()
+        try:
+            writer.send([1, "two", {"three": 3}])
+            assert reader.recv() == [1, "two", {"three": 3}]
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_duplex_both_directions(self):
+        a, b = Pipe(duplex=True)
+        try:
+            a.send("ping")
+            assert b.recv() == "ping"
+            b.send("pong")
+            assert a.recv() == "pong"
+        finally:
+            a.close()
+            b.close()
+
+    def test_poll(self):
+        reader, writer = Pipe()
+        try:
+            assert not reader.poll(0)
+            writer.send(1)
+            assert reader.poll(1.0)
+        finally:
+            reader.close()
+            writer.close()
+
+    def test_send_on_reader_rejected(self):
+        reader, writer = Pipe()
+        try:
+            with pytest.raises(QueueClosed):
+                reader.send(1)
+            with pytest.raises(QueueClosed):
+                writer.recv()
+        finally:
+            reader.close()
+            writer.close()
+
+
+class TestEOF:
+    def test_writer_close_gives_reader_eof(self):
+        reader, writer = Pipe()
+        writer.send("last")
+        writer.close()
+        assert reader.recv() == "last"
+        with pytest.raises(EOFError):
+            reader.recv()
+        reader.close()
+
+    def test_partial_close_methods(self):
+        """close_reader/close_writer drop one end only (§6.4 hygiene)."""
+        reader, writer = Pipe(duplex=True)
+        writer.close_reader()  # writer keeps only its write half
+        writer.send("still works")
+        assert reader.recv() == "still works"
+        reader.close()
+        writer.close()
+
+
+class TestLifecycle:
+    def test_close_idempotent(self):
+        reader, writer = Pipe()
+        reader.close()
+        reader.close()
+        writer.close()
+
+    def test_closed_connection_rejects_io(self):
+        reader, writer = Pipe()
+        reader.close()
+        writer.close()
+        with pytest.raises(QueueClosed):
+            writer.send(1)
+        with pytest.raises(QueueClosed):
+            reader.recv()
+        with pytest.raises(QueueClosed):
+            reader.poll(0)
+
+    def test_fileno_of_closed_raises(self):
+        reader, writer = Pipe()
+        reader.close()
+        with pytest.raises(QueueClosed):
+            reader.fileno()
+        writer.close()
+
+    def test_context_manager_closes(self):
+        reader, writer = Pipe()
+        with reader, writer:
+            writer.send(1)
+            assert reader.recv() == 1
+        assert reader.closed and writer.closed
+
+    def test_open_connections_registry(self):
+        before = len(open_connections())
+        reader, writer = Pipe(label="tracked")
+        assert len(open_connections()) == before + 2
+        reader.close()
+        writer.close()
+        assert len(open_connections()) == before
+
+
+class TestConcurrency:
+    def test_concurrent_senders_do_not_interleave_frames(self):
+        reader, writer = Pipe()
+        n_threads, per_thread = 4, 50
+
+        def send_many(tag):
+            for i in range(per_thread):
+                writer.send((tag, i, "x" * 1000))
+
+        threads = [threading.Thread(target=send_many, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        received = [reader.recv() for _ in range(n_threads * per_thread)]
+        for t in threads:
+            t.join()
+        # every frame intact, per-sender order preserved
+        by_tag = {}
+        for tag, i, payload in received:
+            assert payload == "x" * 1000
+            by_tag.setdefault(tag, []).append(i)
+        for tag, seq in by_tag.items():
+            assert seq == sorted(seq), f"sender {tag} reordered"
+        reader.close()
+        writer.close()
+
+
+@pytest.mark.forks
+class TestAcrossFork:
+    def test_child_to_parent(self):
+        reader, writer = Pipe()
+        pid = os.fork()
+        if pid == 0:
+            reader.close()
+            writer.send(("from-child", os.getpid()))
+            writer.close()
+            os._exit(0)
+        writer.close()
+        tag, child_pid = reader.recv()
+        os.waitpid(pid, 0)
+        assert tag == "from-child" and child_pid == pid
+        reader.close()
+
+    def test_parent_close_is_not_eof_while_child_holds_copy(self):
+        """The §6.4 kernel fact: EOF needs ALL write ends closed."""
+        reader, writer = Pipe()
+        barrier_r, barrier_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            # child: hold the inherited write end until told to exit
+            os.read(barrier_r, 1)
+            os._exit(0)
+        writer.close()  # parent's copy closed, child's copy still open
+        assert not reader.poll(0.2), "EOF arrived despite child's copy"
+        os.write(barrier_w, b"x")  # let the child exit
+        os.waitpid(pid, 0)
+        with pytest.raises(EOFError):
+            reader.recv()  # NOW it is EOF
+        reader.close()
+        os.close(barrier_r)
+        os.close(barrier_w)

@@ -1,0 +1,145 @@
+"""Unit tests: the fork-based Process (repro.mp.process)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.mp.process import Process, active_children
+from repro.mp.queues import Queue
+from repro.util.errors import PoolError
+
+pytestmark = pytest.mark.forks
+
+
+def _exit_with(code):
+    os._exit(code)
+
+
+class TestLifecycle:
+    def test_start_join_exitcode(self):
+        proc = Process(target=lambda: None)
+        proc.start()
+        proc.join(5.0)
+        assert proc.exitcode == 0
+        assert not proc.is_alive()
+
+    def test_target_receives_args(self):
+        q = Queue()
+        proc = Process(target=lambda a, b: q.put(a + b), args=(2, 3))
+        proc.start()
+        assert q.get(timeout=5.0) == 5
+        proc.join(5.0)
+        q.close()
+
+    def test_kwargs(self):
+        q = Queue()
+        proc = Process(target=lambda x=0: q.put(x), kwargs={"x": 9})
+        proc.start()
+        assert q.get(timeout=5.0) == 9
+        proc.join(5.0)
+        q.close()
+
+    def test_double_start_rejected(self):
+        proc = Process(target=lambda: None)
+        proc.start()
+        with pytest.raises(PoolError):
+            proc.start()
+        proc.join(5.0)
+
+    def test_join_before_start_rejected(self):
+        with pytest.raises(PoolError):
+            Process(target=lambda: None).join()
+
+    def test_names_are_unique(self):
+        a, b = Process(), Process()
+        assert a.name != b.name
+
+    def test_run_override(self):
+        q = Queue()
+
+        class Custom(Process):
+            def run(self):
+                q.put("custom-run")
+
+        proc = Custom()
+        proc.start()
+        assert q.get(timeout=5.0) == "custom-run"
+        proc.join(5.0)
+        q.close()
+
+
+class TestExitCodes:
+    def test_exception_in_target_gives_exitcode_1(self):
+        import sys
+        # silence the child's traceback on our captured stderr
+        proc = Process(target=lambda: (_ for _ in ()).throw(
+            RuntimeError("child boom")))
+        proc.start()
+        proc.join(5.0)
+        assert proc.exitcode == 1
+
+    def test_system_exit_code_propagates(self):
+        proc = Process(target=lambda: (_ for _ in ()).throw(SystemExit(5)))
+        proc.start()
+        proc.join(5.0)
+        assert proc.exitcode == 5
+
+    def test_os_exit_propagates(self):
+        proc = Process(target=_exit_with, args=(17,))
+        proc.start()
+        proc.join(5.0)
+        assert proc.exitcode == 17
+
+    def test_terminate_gives_negative_signal(self):
+        proc = Process(target=time.sleep, args=(30,))
+        proc.start()
+        time.sleep(0.05)
+        proc.terminate()
+        proc.join(5.0)
+        assert proc.exitcode == -signal.SIGTERM
+
+    def test_kill(self):
+        proc = Process(target=time.sleep, args=(30,))
+        proc.start()
+        proc.kill()
+        proc.join(5.0)
+        assert proc.exitcode == -signal.SIGKILL
+
+
+class TestJoinSemantics:
+    def test_join_timeout_returns_while_alive(self):
+        proc = Process(target=time.sleep, args=(1.0,))
+        proc.start()
+        start = time.monotonic()
+        proc.join(timeout=0.1)
+        assert time.monotonic() - start < 0.5
+        assert proc.is_alive()
+        proc.terminate()
+        proc.join(5.0)
+
+    def test_is_alive_transitions(self):
+        proc = Process(target=time.sleep, args=(0.2,))
+        proc.start()
+        assert proc.is_alive()
+        proc.join(5.0)
+        assert not proc.is_alive()
+
+    def test_exitcode_none_while_running(self):
+        proc = Process(target=time.sleep, args=(0.3,))
+        proc.start()
+        assert proc.exitcode is None
+        proc.join(5.0)
+        assert proc.exitcode == 0
+
+
+class TestActiveChildren:
+    def test_tracks_started_children(self):
+        procs = [Process(target=time.sleep, args=(0.3,)) for _ in range(3)]
+        for p in procs:
+            p.start()
+        assert len(active_children()) >= 3
+        for p in procs:
+            p.join(5.0)
+        assert all(p not in active_children() for p in procs)

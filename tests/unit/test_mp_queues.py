@@ -1,0 +1,231 @@
+"""Unit tests: semaphore+pipe queues (repro.mp.queues)."""
+
+import os
+import queue as stdlib_queue
+import threading
+import time
+
+import pytest
+
+from repro.mp.queues import Queue, ThreadQueue
+from repro.util.errors import QueueClosed
+
+
+class TestQueueBasics:
+    def test_fifo_order(self):
+        q = Queue()
+        for i in range(10):
+            q.put(i)
+        assert [q.get() for _ in range(10)] == list(range(10))
+        q.close()
+
+    def test_qsize_empty_tracking(self):
+        q = Queue()
+        assert q.empty() and q.qsize() == 0
+        q.put("x")
+        assert not q.empty() and q.qsize() == 1
+        q.get()
+        assert q.empty()
+        q.close()
+
+    def test_arbitrary_picklable_payloads(self):
+        q = Queue()
+        payloads = [None, 0, "text", b"bytes", [1, [2]], {"k": (3, 4)}]
+        for p in payloads:
+            q.put(p)
+        assert [q.get() for _ in payloads] == payloads
+        q.close()
+
+    def test_get_nowait_empty_raises(self):
+        q = Queue()
+        with pytest.raises(stdlib_queue.Empty):
+            q.get_nowait()
+        q.close()
+
+    def test_get_timeout_expires(self):
+        q = Queue()
+        start = time.monotonic()
+        with pytest.raises(stdlib_queue.Empty):
+            q.get(timeout=0.1)
+        assert time.monotonic() - start >= 0.09
+        q.close()
+
+    def test_bytes_sent_accounting(self):
+        q = Queue()
+        assert q.bytes_sent == 0
+        q.put("payload")
+        assert q.bytes_sent > 0
+        q.get()
+        q.close()
+
+    def test_closed_queue_rejects_ops(self):
+        q = Queue()
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(1)
+        with pytest.raises(QueueClosed):
+            q.get()
+
+
+class TestBoundedQueue:
+    def test_full_and_put_nowait(self):
+        q = Queue(maxsize=2)
+        q.put(1)
+        q.put(2)
+        assert q.full()
+        with pytest.raises(stdlib_queue.Full):
+            q.put_nowait(3)
+        q.get()
+        assert not q.full()
+        q.put_nowait(3)
+        q.close()
+
+    def test_put_timeout_expires_when_full(self):
+        q = Queue(maxsize=1)
+        q.put(1)
+        with pytest.raises(stdlib_queue.Full):
+            q.put(2, timeout=0.1)
+        q.close()
+
+    def test_get_unblocks_blocked_put(self):
+        q = Queue(maxsize=1)
+        q.put("first")
+        done = threading.Event()
+
+        def put_second():
+            q.put("second", timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=put_second)
+        thread.start()
+        time.sleep(0.05)
+        assert q.get() == "first"
+        assert done.wait(2.0)
+        assert q.get() == "second"
+        thread.join(2.0)
+        q.close()
+
+
+class TestConcurrentUse:
+    def test_many_producers_one_consumer(self):
+        q = Queue()
+        n_producers, per_producer = 4, 100
+
+        def produce(tag):
+            for i in range(per_producer):
+                q.put((tag, i))
+
+        threads = [threading.Thread(target=produce, args=(t,))
+                   for t in range(n_producers)]
+        for t in threads:
+            t.start()
+        got = [q.get(timeout=5.0) for _ in range(n_producers * per_producer)]
+        for t in threads:
+            t.join()
+        per_tag = {}
+        for tag, i in got:
+            per_tag.setdefault(tag, []).append(i)
+        for tag, seq in per_tag.items():
+            assert seq == sorted(seq), f"producer {tag} reordered"
+        q.close()
+
+    def test_many_consumers_drain_everything(self):
+        q = Queue()
+        for i in range(200):
+            q.put(i)
+        results = []
+        lock = threading.Lock()
+
+        def consume():
+            while True:
+                try:
+                    item = q.get(timeout=0.2)
+                except stdlib_queue.Empty:
+                    return
+                with lock:
+                    results.append(item)
+
+        threads = [threading.Thread(target=consume) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(results) == list(range(200))
+        q.close()
+
+
+@pytest.mark.forks
+class TestAcrossProcesses:
+    def test_parent_to_child_and_back(self):
+        request = Queue()
+        response = Queue()
+        pid = os.fork()
+        if pid == 0:
+            task = request.get(timeout=5.0)
+            response.put(task * 2)
+            os._exit(0)
+        request.put(21)
+        assert response.get(timeout=5.0) == 42
+        os.waitpid(pid, 0)
+        request.close()
+        response.close()
+
+    def test_multiple_children_share_one_queue(self):
+        tasks = Queue()
+        results = Queue()
+        pids = []
+        for _ in range(3):
+            pid = os.fork()
+            if pid == 0:
+                while True:
+                    task = tasks.get(timeout=5.0)
+                    if task is None:
+                        os._exit(0)
+                    results.put((os.getpid(), task + 1))
+            pids.append(pid)
+        for i in range(30):
+            tasks.put(i)
+        got = [results.get(timeout=5.0) for _ in range(30)]
+        for _ in pids:
+            tasks.put(None)
+        for pid in pids:
+            os.waitpid(pid, 0)
+        values = sorted(v for _, v in got)
+        assert values == list(range(1, 31))
+        # at least two children actually participated (shared queue)
+        assert len({pid for pid, _ in got}) >= 2
+        tasks.close()
+        results.close()
+
+
+class TestThreadQueue:
+    def test_basic_fifo(self):
+        q = ThreadQueue()
+        q.put("a")
+        q.put("b")
+        assert q.get() == "a" and q.get() == "b"
+
+    def test_nonblocking_and_size(self):
+        q = ThreadQueue(maxsize=1)
+        assert q.empty()
+        q.put(1)
+        assert q.full() and q.qsize() == 1
+        with pytest.raises(stdlib_queue.Full):
+            q.put(2, block=False)
+
+    def test_get_timeout(self):
+        q = ThreadQueue()
+        with pytest.raises(stdlib_queue.Empty):
+            q.get(timeout=0.05)
+
+    def test_cross_thread_handoff(self):
+        q = ThreadQueue()
+
+        def producer():
+            time.sleep(0.02)
+            q.put("item")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert q.get(timeout=2.0) == "item"
+        thread.join()

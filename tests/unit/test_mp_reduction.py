@@ -1,0 +1,106 @@
+"""Unit tests: pickle framing over raw fds (repro.mp.reduction)."""
+
+import os
+import threading
+
+import pytest
+
+from repro.mp import reduction
+from repro.util.errors import QueueClosed
+
+
+@pytest.fixture
+def pipe_fds():
+    r, w = os.pipe()
+    yield r, w
+    for fd in (r, w):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+
+class TestSendRecv:
+    def test_roundtrip_object(self, pipe_fds):
+        r, w = pipe_fds
+        reduction.send_obj(w, {"key": [1, 2, (3, 4)]})
+        assert reduction.recv_obj(r) == {"key": [1, 2, (3, 4)]}
+
+    def test_roundtrip_preserves_types(self, pipe_fds):
+        r, w = pipe_fds
+        payload = (b"bytes", frozenset({1}), 2.5, None)
+        reduction.send_obj(w, payload)
+        assert reduction.recv_obj(r) == payload
+
+    def test_multiple_frames_in_order(self, pipe_fds):
+        r, w = pipe_fds
+        for i in range(100):
+            reduction.send_obj(w, i)
+        assert [reduction.recv_obj(r) for _ in range(100)] == list(range(100))
+
+    def test_send_returns_frame_size(self, pipe_fds):
+        r, w = pipe_fds
+        n = reduction.send_obj(w, "x")
+        assert n == 4 + len(reduction.dumps("x"))
+
+    def test_large_payload_crosses_pipe_buffer(self, pipe_fds):
+        """Payloads larger than the 64K pipe buffer need a concurrent
+        reader; exercise the write_all partial-write loop."""
+        r, w = pipe_fds
+        big = list(range(200_000))
+        result = {}
+
+        def read():
+            result["value"] = reduction.recv_obj(r)
+
+        reader = threading.Thread(target=read)
+        reader.start()
+        reduction.send_obj(w, big)
+        reader.join(10.0)
+        assert result["value"] == big
+
+
+class TestEOFSemantics:
+    def test_eof_between_frames_raises_eoferror(self, pipe_fds):
+        r, w = pipe_fds
+        reduction.send_obj(w, 1)
+        os.close(w)
+        assert reduction.recv_obj(r) == 1
+        with pytest.raises(EOFError):
+            reduction.recv_obj(r)
+
+    def test_eof_mid_frame_raises_queueclosed(self, pipe_fds):
+        r, w = pipe_fds
+        frame = reduction.HEADER.pack(1000) + b"partial"
+        os.write(w, frame)
+        os.close(w)
+        with pytest.raises(QueueClosed):
+            reduction.recv_obj(r)
+
+    def test_write_to_closed_pipe_raises_queueclosed(self, pipe_fds):
+        import signal
+        r, w = pipe_fds
+        os.close(r)
+        previous = signal.signal(signal.SIGPIPE, signal.SIG_IGN)
+        try:
+            with pytest.raises(QueueClosed):
+                reduction.send_obj(w, "data")
+        finally:
+            signal.signal(signal.SIGPIPE, previous)
+
+    def test_corrupt_length_rejected(self, pipe_fds):
+        r, w = pipe_fds
+        os.write(w, reduction.HEADER.pack(reduction.MAX_PAYLOAD + 1))
+        with pytest.raises(QueueClosed):
+            reduction.recv_obj(r)
+
+
+class TestForgivingPickler:
+    def test_normal_object(self):
+        data = reduction.ForgivingPickler.safe_dumps({"x": 1})
+        assert reduction.loads(data) == {"x": 1}
+
+    def test_unpicklable_falls_back_to_repr(self):
+        unpicklable = lambda: None  # noqa: E731 - lambdas don't pickle
+        data = reduction.ForgivingPickler.safe_dumps(unpicklable)
+        assert "lambda" in reduction.loads(data)

@@ -1,0 +1,161 @@
+"""Unit tests: mmap-backed shared memory (repro.mp.sharedmem)."""
+
+import os
+
+import pytest
+
+from repro.mp.sharedmem import (
+    SharedArray,
+    SharedCounter,
+    SharedMemoryError,
+    SharedValue,
+)
+
+
+class TestSharedValue:
+    def test_get_set(self):
+        value = SharedValue("q", 42)
+        assert value.get() == 42
+        value.set(-7)
+        assert value.value == -7
+        value.close()
+
+    def test_value_property_setter(self):
+        value = SharedValue("d", 0.0)
+        value.value = 2.5
+        assert value.get() == 2.5
+        value.close()
+
+    def test_typecodes(self):
+        for code, sample in (("q", 2**40), ("d", 3.25), ("i", -100),
+                             ("B", 255)):
+            value = SharedValue(code, sample)
+            assert value.get() == sample
+            value.close()
+
+    def test_unknown_typecode(self):
+        with pytest.raises(SharedMemoryError):
+            SharedValue("x")
+
+    def test_overflow_rejected(self):
+        value = SharedValue("B", 0)
+        with pytest.raises(SharedMemoryError):
+            value.set(300)
+        value.close()
+
+    def test_use_after_close(self):
+        value = SharedValue("q")
+        value.close()
+        with pytest.raises(SharedMemoryError):
+            value.get()
+        with pytest.raises(SharedMemoryError):
+            value.set(1)
+
+    @pytest.mark.forks
+    def test_child_writes_visible_in_parent(self):
+        """THE property: same physical page across fork (vs the §6.2
+        queue, which is a frozen copy)."""
+        value = SharedValue("q", 1)
+        pid = os.fork()
+        if pid == 0:
+            value.set(777)
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert value.get() == 777
+        value.close()
+
+    @pytest.mark.forks
+    def test_parent_writes_visible_in_child(self):
+        value = SharedValue("q", 0)
+        gate_r, gate_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.read(gate_r, 1)  # wait for the parent's write
+            os._exit(0 if value.get() == 123 else 1)
+        value.set(123)
+        os.write(gate_w, b"x")
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        value.close()
+        os.close(gate_r)
+        os.close(gate_w)
+
+
+class TestSharedArray:
+    def test_size_constructor(self):
+        array = SharedArray("i", 5)
+        assert len(array) == 5
+        assert array.tolist() == [0] * 5
+        array.close()
+
+    def test_init_constructor(self):
+        array = SharedArray("q", [3, 1, 4, 1, 5])
+        assert array.tolist() == [3, 1, 4, 1, 5]
+        array.close()
+
+    def test_item_assignment_and_negative_index(self):
+        array = SharedArray("i", 3)
+        array[0] = 10
+        array[-1] = 30
+        assert array.tolist() == [10, 0, 30]
+        array.close()
+
+    def test_out_of_range(self):
+        array = SharedArray("i", 2)
+        with pytest.raises(SharedMemoryError):
+            array[2]
+        with pytest.raises(SharedMemoryError):
+            array[-3] = 1
+        array.close()
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SharedMemoryError):
+            SharedArray("i", 0)
+
+    def test_iteration(self):
+        array = SharedArray("B", [1, 2, 3])
+        assert list(array) == [1, 2, 3]
+        array.close()
+
+    @pytest.mark.forks
+    def test_children_fill_disjoint_slots(self):
+        array = SharedArray("q", 4)
+        pids = []
+        for i in range(4):
+            pid = os.fork()
+            if pid == 0:
+                array[i] = (i + 1) * 11
+                os._exit(0)
+            pids.append(pid)
+        for pid in pids:
+            os.waitpid(pid, 0)
+        assert array.tolist() == [11, 22, 33, 44]
+        array.close()
+
+
+class TestSharedCounter:
+    def test_increment_and_get(self):
+        counter = SharedCounter(10)
+        assert counter.increment() == 11
+        assert counter.increment(5) == 16
+        assert counter.get() == 16
+        counter.close()
+
+    @pytest.mark.forks
+    def test_cross_process_increments_lose_nothing(self):
+        """Lock + shared slot: the read-modify-write races a bare
+        SharedValue would lose are eliminated."""
+        counter = SharedCounter(0)
+        n_children, per_child = 4, 200
+        pids = []
+        for _ in range(n_children):
+            pid = os.fork()
+            if pid == 0:
+                for _ in range(per_child):
+                    counter.increment()
+                os._exit(0)
+            pids.append(pid)
+        for pid in pids:
+            os.waitpid(pid, 0)
+        assert counter.get() == n_children * per_child
+        counter.close()

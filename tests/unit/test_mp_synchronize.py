@@ -1,0 +1,210 @@
+"""Unit tests: pipe-token semaphores, locks, events (repro.mp.synchronize)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.mp.synchronize import BoundedSemaphore, Event, Lock, Semaphore
+from repro.util.errors import SyncObjectError
+
+
+class TestSemaphore:
+    def test_initial_value(self):
+        sem = Semaphore(3)
+        assert sem.value() == 3
+        sem.close()
+
+    def test_acquire_release_cycle(self):
+        sem = Semaphore(1)
+        assert sem.acquire()
+        assert sem.value() == 0
+        sem.release()
+        assert sem.value() == 1
+        sem.close()
+
+    def test_nonblocking_miss(self):
+        sem = Semaphore(0)
+        assert not sem.acquire(blocking=False)
+        sem.close()
+
+    def test_timeout_expires(self):
+        sem = Semaphore(0)
+        start = time.monotonic()
+        assert not sem.acquire(timeout=0.1)
+        assert time.monotonic() - start >= 0.09
+        sem.close()
+
+    def test_release_wakes_blocked_thread(self):
+        sem = Semaphore(0)
+        got = threading.Event()
+
+        def block():
+            if sem.acquire(timeout=5.0):
+                got.set()
+
+        thread = threading.Thread(target=block)
+        thread.start()
+        time.sleep(0.05)
+        sem.release()
+        assert got.wait(2.0)
+        thread.join(2.0)
+        sem.close()
+
+    def test_multi_release(self):
+        sem = Semaphore(0)
+        sem.release(5)
+        assert sem.value() == 5
+        sem.close()
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SyncObjectError):
+            Semaphore(-1)
+
+    def test_bad_release_count_rejected(self):
+        sem = Semaphore(1)
+        with pytest.raises(SyncObjectError):
+            sem.release(0)
+        sem.close()
+
+    def test_closed_semaphore_rejects_ops(self):
+        sem = Semaphore(1)
+        sem.close()
+        with pytest.raises(SyncObjectError):
+            sem.acquire()
+        with pytest.raises(SyncObjectError):
+            sem.release()
+
+    def test_context_manager(self):
+        sem = Semaphore(1)
+        with sem:
+            assert sem.value() == 0
+        assert sem.value() == 1
+        sem.close()
+
+    def test_reinit_restores_permits(self):
+        sem = Semaphore(2)
+        sem.acquire()
+        sem.reinit(2)
+        assert sem.value() == 2
+        sem.close()
+
+    @pytest.mark.forks
+    def test_permits_shared_across_fork(self):
+        """A release in the child wakes a waiter in the parent."""
+        sem = Semaphore(0)
+        pid = os.fork()
+        if pid == 0:
+            time.sleep(0.05)
+            sem.release()
+            os._exit(0)
+        got = sem.acquire(timeout=5.0)
+        os.waitpid(pid, 0)
+        assert got
+        sem.close()
+
+
+class TestBoundedSemaphore:
+    def test_over_release_rejected(self):
+        sem = BoundedSemaphore(1)
+        sem.acquire()
+        sem.release()
+        with pytest.raises(SyncObjectError):
+            sem.release()
+        sem.close()
+
+
+class TestLock:
+    def test_mutual_exclusion_between_threads(self):
+        lock = Lock()
+        counter = {"n": 0}
+
+        def bump():
+            for _ in range(100):
+                with lock:
+                    value = counter["n"]
+                    time.sleep(0)  # widen the race window
+                    counter["n"] = value + 1
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["n"] == 400
+        lock.close()
+
+    def test_owner_tracking(self):
+        from repro.util.ids import UEId
+        lock = Lock()
+        lock.acquire()
+        assert lock.locked_by == UEId.current()
+        lock.release()
+        assert lock.locked_by is None
+        lock.close()
+
+
+class TestEvent:
+    def test_initially_clear(self):
+        event = Event()
+        assert not event.is_set()
+        assert not event.wait(timeout=0.05)
+        event.close()
+
+    def test_set_and_wait(self):
+        event = Event()
+        event.set()
+        assert event.is_set()
+        assert event.wait(timeout=0.1)
+        # observing does not consume
+        assert event.is_set()
+        event.close()
+
+    def test_clear(self):
+        event = Event()
+        event.set()
+        event.clear()
+        assert not event.is_set()
+        event.close()
+
+    def test_set_idempotent(self):
+        event = Event()
+        event.set()
+        event.set()
+        event.clear()
+        assert not event.is_set()  # one clear drains all
+        event.close()
+
+    def test_broadcast_to_many_threads(self):
+        event = Event()
+        woken = []
+        lock = threading.Lock()
+
+        def waiters():
+            if event.wait(timeout=5.0):
+                with lock:
+                    woken.append(threading.get_ident())
+
+        threads = [threading.Thread(target=waiters) for _ in range(5)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        event.set()
+        for t in threads:
+            t.join(2.0)
+        assert len(woken) == 5
+        event.close()
+
+    @pytest.mark.forks
+    def test_broadcast_across_fork(self):
+        event = Event()
+        pid = os.fork()
+        if pid == 0:
+            ok = event.wait(timeout=5.0)
+            os._exit(0 if ok else 1)
+        time.sleep(0.05)
+        event.set()
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+        event.close()

@@ -1,0 +1,66 @@
+"""Unit tests: shuffle partitioning (repro.mapreduce.partition)."""
+
+import pytest
+
+from repro.mapreduce.partition import partition_for, shuffle, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("word") == stable_hash("word")
+
+    def test_known_value_pinned(self):
+        """CRC-32 is a fixed algorithm: pin known values so an accidental
+        change to the hash (which would break cross-process agreement
+        between mappers and reducers) fails loudly."""
+        assert stable_hash("") == 0
+        assert stable_hash("a") == 0xE8B7BE43  # crc32(b"a")
+
+    def test_spreads_keys(self):
+        buckets = {stable_hash(f"key{i}") % 8 for i in range(1000)}
+        assert len(buckets) == 8
+
+    def test_32_bit_range(self):
+        for key in ("a", "zzz", "長い言葉"):
+            assert 0 <= stable_hash(key) < 2 ** 32
+
+
+class TestPartitionFor:
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= partition_for(f"k{i}", 7) < 7
+
+    def test_single_partition(self):
+        assert partition_for("anything", 1) == 0
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            partition_for("x", 0)
+
+
+class TestShuffle:
+    def test_groups_values_by_key(self):
+        partials = [{"a": 1, "b": 2}, {"a": 3}, {"b": 4, "c": 5}]
+        buckets = shuffle(partials, 1)
+        assert buckets[0] == [("a", [1, 3]), ("b", [2, 4]), ("c", [5])]
+
+    def test_each_key_in_exactly_one_bucket(self):
+        partials = [{f"key{i}": i for i in range(100)}]
+        buckets = shuffle(partials, 5)
+        seen = [k for bucket in buckets for k, _ in bucket]
+        assert sorted(seen) == sorted(f"key{i}" for i in range(100))
+
+    def test_bucket_assignment_matches_partition_for(self):
+        partials = [{"alpha": 1, "beta": 2}]
+        buckets = shuffle(partials, 4)
+        for index, bucket in enumerate(buckets):
+            for key, _ in bucket:
+                assert partition_for(key, 4) == index
+
+    def test_buckets_sorted_by_key(self):
+        partials = [{"z": 1, "a": 2, "m": 3}]
+        bucket = shuffle(partials, 1)[0]
+        assert [k for k, _ in bucket] == sorted(k for k, _ in bucket)
+
+    def test_empty_input(self):
+        assert shuffle([], 3) == [[], [], []]

@@ -1,0 +1,161 @@
+"""Unit tests: port-file rendezvous (repro.util.portfile)."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.util.errors import RendezvousError
+from repro.util.portfile import (
+    PortFile,
+    PortFileWatcher,
+    PortRecord,
+    default_portfile_path,
+)
+
+
+def record(pid=100, parent=1, port=5000):
+    return PortRecord(pid=pid, parent_pid=parent, host="127.0.0.1",
+                      port=port, created_at=time.time())
+
+
+class TestPortRecord:
+    def test_json_roundtrip(self):
+        rec = record()
+        assert PortRecord.from_json(rec.to_json()) == rec
+
+    def test_corrupt_json_raises(self):
+        with pytest.raises(RendezvousError):
+            PortRecord.from_json("{not json")
+
+    def test_missing_field_raises(self):
+        with pytest.raises(RendezvousError):
+            PortRecord.from_json(json.dumps({"pid": 1}))
+
+
+class TestPortFile:
+    def test_announce_then_read(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record(pid=1))
+        pf.announce(record(pid=2))
+        assert [r.pid for r in pf.read_all()] == [1, 2]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        pf = PortFile(str(tmp_path / "nope"))
+        assert pf.read_all() == []
+
+    def test_remove_idempotent(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record())
+        pf.remove()
+        pf.remove()  # second remove of a missing file must not raise
+        assert pf.read_all() == []
+
+    def test_file_is_private(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record())
+        mode = os.stat(pf.path).st_mode & 0o777
+        assert mode == 0o600
+
+    def test_concurrent_appends_from_threads(self, tmp_path):
+        """O_APPEND writes below PIPE_BUF must never interleave."""
+        pf = PortFile(str(tmp_path / "ports"))
+
+        def announce_many(base):
+            mine = PortFile(pf.path)  # separate instance, like a child
+            for i in range(50):
+                mine.announce(record(pid=base + i))
+
+        threads = [threading.Thread(target=announce_many, args=(b,))
+                   for b in (1000, 2000, 3000)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        pids = [r.pid for r in pf.read_all()]
+        assert len(pids) == 150
+        assert len(set(pids)) == 150
+
+
+class TestPortFileWatcher:
+    def test_poll_once_sees_new_records_exactly_once(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        pf.announce(record(pid=11))
+        assert [r.pid for r in watcher.poll_once()] == [11]
+        assert watcher.poll_once() == []  # no duplicates
+        pf.announce(record(pid=12))
+        assert [r.pid for r in watcher.poll_once()] == [12]
+        assert [r.pid for r in seen] == [11, 12]
+
+    def test_background_thread_delivers(self, tmp_path, waiter):
+        pf = PortFile(str(tmp_path / "ports"))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append,
+                                  poll_interval=0.005)
+        watcher.start()
+        try:
+            pf.announce(record(pid=77))
+            waiter(lambda: len(seen) == 1, message="watcher callback")
+            assert seen[0].pid == 77
+        finally:
+            watcher.stop()
+
+    def test_double_start_rejected(self, tmp_path):
+        watcher = PortFileWatcher(portfile=PortFile(str(tmp_path / "p")),
+                                  on_record=lambda r: None)
+        watcher.start()
+        try:
+            with pytest.raises(RendezvousError):
+                watcher.start()
+        finally:
+            watcher.stop()
+
+    def test_wait_for_pid(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        watcher = PortFileWatcher(portfile=pf, on_record=lambda r: None)
+
+        def announce_later():
+            time.sleep(0.05)
+            pf.announce(record(pid=42))
+
+        thread = threading.Thread(target=announce_later)
+        thread.start()
+        rec = watcher.wait_for_pid(42, timeout=2.0)
+        thread.join()
+        assert rec.pid == 42
+
+    def test_wait_for_pid_times_out(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        watcher = PortFileWatcher(portfile=pf, on_record=lambda r: None)
+        with pytest.raises(RendezvousError):
+            watcher.wait_for_pid(999, timeout=0.1)
+
+    def test_corrupt_line_does_not_kill_watcher(self, tmp_path, waiter):
+        pf = PortFile(str(tmp_path / "ports"))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append,
+                                  poll_interval=0.005)
+        watcher.start()
+        try:
+            with open(pf.path, "a", encoding="utf-8") as fh:
+                fh.write("garbage line\n")
+            time.sleep(0.05)
+            # A valid record written later must still be delivered...
+            # after repairing the file (real writers only append whole
+            # JSON lines; a corrupt line would keep raising).
+            os.unlink(pf.path)
+            pf.announce(record(pid=5))
+            waiter(lambda: len(seen) == 1, message="recovery after corrupt")
+        finally:
+            watcher.stop()
+
+
+def test_default_path_is_per_run():
+    a = default_portfile_path("runA")
+    b = default_portfile_path("runB")
+    assert a != b
+    assert "runA" in a

@@ -1,0 +1,96 @@
+"""Unit tests: wire-protocol shapes (repro.server.protocol)."""
+
+import pytest
+
+from repro.server import protocol
+from repro.util.errors import ProtocolError
+from repro.util.ids import UEId
+
+
+class TestHello:
+    def test_make_and_validate(self):
+        hello = protocol.make_hello(protocol.ROLE_COMMAND, pid=1,
+                                    session_token="t")
+        protocol.validate_hello(hello)
+
+    def test_invalid_role_rejected_at_construction(self):
+        with pytest.raises(ProtocolError):
+            protocol.make_hello("admin", pid=1, session_token="t")
+
+    def test_validate_rejects_wrong_version(self):
+        hello = protocol.make_hello(protocol.ROLE_SOURCE, pid=1,
+                                    session_token="t")
+        hello["version"] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.validate_hello(hello)
+
+    def test_validate_rejects_tampered_role(self):
+        hello = protocol.make_hello(protocol.ROLE_SOURCE, pid=1,
+                                    session_token="t")
+        hello["role"] = "root"
+        with pytest.raises(ProtocolError):
+            protocol.validate_hello(hello)
+
+
+class TestRequestResponse:
+    def test_request_shape(self):
+        req = protocol.make_request(3, "set_break", {"file": "f", "line": 1})
+        protocol.validate_request(req)
+        assert req["id"] == 3
+
+    def test_request_default_args(self):
+        req = protocol.make_request(1, "threads")
+        assert req["args"] == {}
+
+    def test_validate_rejects_missing_id(self):
+        req = protocol.make_request(1, "x")
+        del req["id"]
+        with pytest.raises(ProtocolError):
+            protocol.validate_request(req)
+
+    def test_validate_rejects_non_string_command(self):
+        req = protocol.make_request(1, "x")
+        req["command"] = 5
+        with pytest.raises(ProtocolError):
+            protocol.validate_request(req)
+
+    def test_validate_rejects_non_dict_args(self):
+        req = protocol.make_request(1, "x")
+        req["args"] = [1]
+        with pytest.raises(ProtocolError):
+            protocol.validate_request(req)
+
+    def test_response_ok(self):
+        resp = protocol.make_response(5, {"a": 1})
+        assert resp["ok"] and resp["result"] == {"a": 1}
+
+    def test_error_response(self):
+        resp = protocol.make_error(5, "nope", kind="SessionError")
+        assert not resp["ok"]
+        assert resp["error"] == {"kind": "SessionError", "message": "nope"}
+
+
+class TestEnvelope:
+    def test_message_type_dispatch(self):
+        assert protocol.message_type(protocol.make_event("stopped")) == \
+            "event"
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.message_type([1, 2])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.message_type({"type": "telnet"})
+
+
+class TestUEWire:
+    def test_roundtrip(self):
+        ue = UEId(12, 345)
+        assert protocol.ue_from_wire(protocol.ue_to_wire(ue)) == ue
+
+    def test_bad_wire_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.ue_from_wire({"pid": "x"})
+        with pytest.raises(ProtocolError):
+            protocol.ue_from_wire({})

@@ -1,0 +1,118 @@
+"""Unit tests: transcript entries and recorder mechanics (no sockets)."""
+
+import json
+
+import pytest
+
+from repro.client.recording import SessionRecorder, TranscriptEntry
+
+
+class FakeSession:
+    def __init__(self, pid=100, fail=False):
+        self.pid = pid
+        self._fail = fail
+        self.calls = []
+
+    def request(self, command, args=None, timeout=None):
+        self.calls.append((command, args))
+        if self._fail:
+            raise RuntimeError("server unhappy")
+        return {"echo": command}
+
+
+class TestTranscriptEntry:
+    def test_json_roundtrip(self):
+        entry = TranscriptEntry(timestamp=1.5, pid=7,
+                                direction="request",
+                                payload={"command": "step"})
+        back = TranscriptEntry.from_json(entry.to_json())
+        assert back == entry
+
+    def test_json_is_single_line(self):
+        entry = TranscriptEntry(timestamp=0.0, pid=1, direction="event",
+                                payload={"text": "a\nb"})
+        assert "\n" not in entry.to_json()
+
+
+class TestRecorderCapture:
+    def test_wrap_session_records_both_sides(self):
+        recorder = SessionRecorder()
+        session = FakeSession()
+        recorder.wrap_session(session)
+        assert session.request("threads") == {"echo": "threads"}
+        directions = [e.direction for e in recorder.entries()]
+        assert directions == ["request", "response"]
+        assert recorder.entries()[0].payload["command"] == "threads"
+        assert recorder.entries()[1].payload["ok"] is True
+
+    def test_wrap_is_idempotent(self):
+        recorder = SessionRecorder()
+        session = FakeSession()
+        recorder.wrap_session(session)
+        recorder.wrap_session(session)
+        session.request("info")
+        assert len(recorder.entries()) == 2  # not doubled
+
+    def test_failures_recorded_and_reraised(self):
+        recorder = SessionRecorder()
+        session = FakeSession(fail=True)
+        recorder.wrap_session(session)
+        with pytest.raises(RuntimeError):
+            session.request("boom")
+        response = recorder.entries(direction="response")[0]
+        assert response.payload["ok"] is False
+        assert "RuntimeError" in response.payload["error"]
+
+    def test_record_event(self):
+        recorder = SessionRecorder()
+        recorder.record_event(55, {"event": "stopped",
+                                   "payload": {"x": 1}})
+        entry = recorder.entries(direction="event")[0]
+        assert entry.pid == 55
+        assert entry.payload["event"] == "stopped"
+
+    def test_filters(self):
+        recorder = SessionRecorder()
+        recorder.record(1, "request", {"command": "a"})
+        recorder.record(2, "request", {"command": "b"})
+        recorder.record(1, "event", {"event": "stopped"})
+        assert len(recorder.entries(pid=1)) == 2
+        assert len(recorder.entries(direction="request")) == 2
+        assert len(recorder.entries(direction="request", pid=2)) == 1
+
+    def test_timestamps_monotone(self):
+        recorder = SessionRecorder()
+        for i in range(5):
+            recorder.record(1, "request", {"command": str(i)})
+        stamps = [e.timestamp for e in recorder.entries()]
+        assert stamps == sorted(stamps)
+
+
+class TestPersistence:
+    def test_save_load(self, tmp_path):
+        recorder = SessionRecorder()
+        recorder.record(1, "request", {"command": "info"})
+        recorder.record(1, "response", {"command": "info", "ok": True})
+        path = str(tmp_path / "t.jsonl")
+        assert recorder.save(path) == 2
+        loaded = SessionRecorder.load(path)
+        assert [e.direction for e in loaded] == ["request", "response"]
+
+    def test_saved_file_is_valid_jsonl(self, tmp_path):
+        recorder = SessionRecorder()
+        recorder.record(1, "event", {"event": "output"})
+        path = str(tmp_path / "t.jsonl")
+        recorder.save(path)
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_timeline_render(self):
+        recorder = SessionRecorder()
+        recorder.record(9, "request", {"command": "step"})
+        recorder.record(9, "response", {"command": "step", "ok": False})
+        recorder.record(9, "event", {"event": "resumed"})
+        timeline = recorder.render_timeline()
+        assert "-> step" in timeline
+        assert "<- step [ERROR]" in timeline
+        assert "** resumed" in timeline

@@ -1,0 +1,77 @@
+"""Unit tests: the ring logger (repro.util.ringlog)."""
+
+import threading
+
+import pytest
+
+from repro.util.ringlog import RingLog
+
+
+class TestBasics:
+    def test_emit_and_snapshot(self):
+        log = RingLog(capacity=8)
+        log.emit("cat", "first")
+        log.emit("cat", "second")
+        records = log.snapshot()
+        assert [r.message for r in records] == ["first", "second"]
+        assert records[0].seq == 0 and records[1].seq == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingLog(capacity=0)
+
+    def test_format_contains_fields(self):
+        log = RingLog()
+        log.emit("tracing", "hello")
+        text = log.snapshot()[0].format()
+        assert "tracing" in text and "hello" in text
+
+
+class TestRingSemantics:
+    def test_overwrites_oldest(self):
+        log = RingLog(capacity=3)
+        for i in range(5):
+            log.emit("c", f"m{i}")
+        assert [r.message for r in log.snapshot()] == ["m2", "m3", "m4"]
+
+    def test_dropped_count(self):
+        log = RingLog(capacity=2)
+        for i in range(5):
+            log.emit("c", str(i))
+        assert log.dropped == 3
+
+    def test_drain_clears(self):
+        log = RingLog(capacity=4)
+        log.emit("c", "x")
+        drained = log.drain()
+        assert [r.message for r in drained] == ["x"]
+        assert log.snapshot() == []
+        assert log.dropped == 0
+
+    def test_reset_after_fork_clears(self):
+        log = RingLog(capacity=4)
+        log.emit("c", "parent record")
+        log.reset_after_fork()
+        assert log.snapshot() == []
+
+
+class TestConcurrency:
+    def test_parallel_emitters_keep_all_records(self):
+        log = RingLog(capacity=10000)
+
+        def emit_many(tag):
+            for i in range(500):
+                log.emit(tag, f"{tag}-{i}")
+
+        threads = [threading.Thread(target=emit_many, args=(f"t{k}",))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = log.snapshot()
+        assert len(records) == 2000
+        # sequence numbers are unique and dense
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 2000

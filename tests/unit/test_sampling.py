@@ -1,0 +1,151 @@
+"""Unit tests: the sampling profiler (repro.tracing.sampling)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.tracing.sampling import SamplingProfiler
+from repro.util.errors import TraceError
+from repro.util.ids import UEId
+
+
+def busy_function(stop_event):
+    """A recognisable hot frame (body dominates; the is_set call is
+    amortised so samples land in THIS frame, not threading.py)."""
+    count = 0
+    while not stop_event.is_set():
+        for _ in range(2000):
+            count += 1
+    return count
+
+
+class TestLifecycle:
+    def test_start_stop(self):
+        profiler = SamplingProfiler(interval=0.002)
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        assert not profiler.running
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        try:
+            with pytest.raises(TraceError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_bad_interval(self):
+        with pytest.raises(TraceError):
+            SamplingProfiler(interval=0)
+
+    def test_context_manager(self):
+        with SamplingProfiler(interval=0.002) as profiler:
+            time.sleep(0.05)
+        assert profiler.total_samples > 0
+
+
+class TestSampling:
+    def test_hot_function_dominates(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=busy_function, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.25)
+                ue = UEId.current()._replace_tid(worker.ident) \
+                    if hasattr(UEId, "_replace_tid") else None
+            import os
+            ue = UEId(os.getpid(), worker.ident)
+            profile = profiler.profile_for(ue)
+            assert profile.samples > 10
+            hottest = profile.hottest(3)
+            names = [key[2] for key, _ in hottest]
+            assert "busy_function" in names
+        finally:
+            stop.set()
+            worker.join(5)
+
+    def test_inclusive_counts_cover_callers(self):
+        stop = threading.Event()
+
+        def outer(stop_event):
+            return busy_function(stop_event)
+
+        worker = threading.Thread(target=outer, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.2)
+            import os
+            profile = profiler.profile_for(UEId(os.getpid(),
+                                                worker.ident))
+            inclusive_names = {key[2] for key in profile.inclusive}
+            assert "outer" in inclusive_names
+            assert "busy_function" in inclusive_names
+            # outer is never the top frame
+            self_names = {key[2] for key in profile.self_counts}
+            assert "busy_function" in self_names
+        finally:
+            stop.set()
+            worker.join(5)
+
+    def test_debugger_threads_skipped(self):
+        done = threading.Event()
+
+        def dionea_like():
+            while not done.is_set():
+                time.sleep(0.001)
+
+        infra = threading.Thread(target=dionea_like,
+                                 name="dionea-fake-listener")
+        infra.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.1)
+            import os
+            ue = UEId(os.getpid(), infra.ident)
+            assert profiler.profile_for(ue).samples == 0
+        finally:
+            done.set()
+            infra.join(5)
+
+    def test_reset(self):
+        with SamplingProfiler(interval=0.002) as profiler:
+            time.sleep(0.05)
+        profiler.reset()
+        assert profiler.total_samples == 0
+        assert profiler.profiles() == {}
+
+
+class TestReports:
+    def test_render_mentions_hot_frame(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=busy_function, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.2)
+            text = profiler.render()
+            assert "busy_function" in text
+            assert "sweeps" in text
+        finally:
+            stop.set()
+            worker.join(5)
+
+    def test_to_wire_is_json_safe(self):
+        import json
+        stop = threading.Event()
+        worker = threading.Thread(target=busy_function, args=(stop,))
+        worker.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.1)
+            wire = profiler.to_wire()
+            json.dumps(wire)
+            assert wire["total_sweeps"] > 0
+        finally:
+            stop.set()
+            worker.join(5)

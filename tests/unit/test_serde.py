@@ -1,0 +1,98 @@
+"""Unit tests: safe value rendering (repro.util.serde)."""
+
+from repro.util.serde import render_namespace, render_value
+
+
+class TestAtomicValues:
+    def test_int(self):
+        assert render_value(42) == "42"
+
+    def test_float(self):
+        assert render_value(3.5) == "3.5"
+
+    def test_bool_and_none(self):
+        assert render_value(True) == "True"
+        assert render_value(None) == "None"
+
+    def test_short_string(self):
+        assert render_value("hi") == "'hi'"
+
+    def test_bytes(self):
+        assert render_value(b"abc") == "b'abc'"
+
+
+class TestTruncation:
+    def test_long_string_clipped_with_marker(self):
+        rendered = render_value("x" * 1000)
+        assert len(rendered) < 1000
+        assert "chars)" in rendered
+
+    def test_long_list_clipped_with_count(self):
+        rendered = render_value(list(range(100)))
+        assert "items)" in rendered
+        assert "99" not in rendered.split("...")[0]
+
+    def test_deep_nesting_cut_at_depth(self):
+        nested = [[[[["deep"]]]]]
+        rendered = render_value(nested)
+        assert "list" in rendered or "deep" not in rendered
+
+    def test_custom_bounds(self):
+        rendered = render_value(list(range(10)), max_items=3)
+        assert "(+7 items)" in rendered
+
+
+class TestContainers:
+    def test_list(self):
+        assert render_value([1, 2]) == "[1, 2]"
+
+    def test_tuple_singleton_keeps_comma(self):
+        assert render_value((1,)) == "(1,)"
+
+    def test_dict(self):
+        assert render_value({"a": 1}) == "{'a': 1}"
+
+    def test_set(self):
+        assert render_value({5}) == "{5}"
+
+    def test_nested_mixed(self):
+        rendered = render_value({"xs": [1, (2, 3)]})
+        assert rendered == "{'xs': [1, (2, 3)]}"
+
+
+class TestHostileObjects:
+    def test_broken_repr_contained(self):
+        class Broken:
+            def __repr__(self):
+                raise RuntimeError("nope")
+
+        rendered = render_value(Broken())
+        assert "unrepresentable" in rendered
+
+    def test_broken_repr_inside_container(self):
+        class Broken:
+            def __repr__(self):
+                raise ValueError("boom")
+
+        rendered = render_value([1, Broken(), 3])
+        assert "unrepresentable" in rendered
+
+    def test_recursive_structure_bounded(self):
+        xs = []
+        xs.append(xs)
+        rendered = render_value(xs)
+        assert isinstance(rendered, str)  # must terminate
+
+
+class TestRenderNamespace:
+    def test_skips_dunder_names(self):
+        namespace = {"__builtins__": {}, "x": 1}
+        assert render_namespace(namespace) == {"x": "1"}
+
+    def test_sorted_keys(self):
+        namespace = {"b": 2, "a": 1}
+        assert list(render_namespace(namespace)) == ["a", "b"]
+
+    def test_keep_dunder_when_asked(self):
+        namespace = {"__name__": "m"}
+        assert "__name__" in render_namespace(namespace, skip_dunder=False)

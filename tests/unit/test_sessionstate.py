@@ -1,0 +1,80 @@
+"""Unit tests: the Fig. 4 metadata block (repro.server.sessionstate)."""
+
+import os
+import threading
+
+from repro.server.sessionstate import SessionState, new_session_token
+
+
+class TestConstruction:
+    def test_defaults_describe_this_process(self):
+        state = SessionState(program="prog")
+        assert state.pid == os.getpid()
+        assert state.parent_pid == os.getppid()
+        assert state.program == "prog"
+        assert state.main_thread_ident == threading.main_thread().ident
+        assert state.fork_generation == 0
+
+    def test_tokens_are_unique(self):
+        assert new_session_token() != new_session_token()
+        assert SessionState().session_token != SessionState().session_token
+
+
+class TestChildren:
+    def test_record_child_deduplicates(self):
+        state = SessionState()
+        state.record_child(100)
+        state.record_child(100)
+        state.record_child(200)
+        assert state.children == [100, 200]
+
+
+class TestForkRewrite:
+    """The before/after of paper Fig. 4."""
+
+    def test_rewrite_updates_identity(self):
+        state = SessionState(program="prog")
+        state.record_child(5)
+        old_pid = state.pid
+        old_token = state.session_token
+
+        state.rewrite_for_child()
+
+        # New identity...
+        assert state.parent_pid == old_pid
+        assert state.session_token != old_token
+        assert state.fork_generation == 1
+        # ...fresh bookkeeping...
+        assert state.children == []
+        # ...same debugging intent (program name survives).
+        assert state.program == "prog"
+
+    def test_forking_thread_becomes_main(self):
+        state = SessionState()
+        results = {}
+
+        def fork_like():
+            state.rewrite_for_child()
+            results["main"] = state.main_thread_ident
+
+        thread = threading.Thread(target=fork_like)
+        thread.start()
+        thread.join()
+        assert results["main"] == thread.ident
+
+    def test_generation_counts_hops(self):
+        state = SessionState()
+        state.rewrite_for_child()
+        state.rewrite_for_child()
+        assert state.fork_generation == 2
+
+
+class TestDescribe:
+    def test_describe_is_wire_safe(self):
+        import json
+        state = SessionState(program="p")
+        state.record_child(9)
+        wire = state.describe()
+        json.dumps(wire)
+        assert wire["children"] == [9]
+        assert wire["pid"] == state.pid

@@ -1,0 +1,94 @@
+"""Unit tests: shell command parsing (repro.client.shell)."""
+
+import pytest
+
+from repro.client.shell import parse_location
+from repro.util.errors import CommandError
+
+
+class TestParseLocation:
+    def test_plain(self):
+        assert parse_location("app.py:12") == ("app.py", 12, None)
+
+    def test_with_condition(self):
+        assert parse_location("app.py:12, x > 3") == ("app.py", 12, "x > 3")
+
+    def test_absolute_path(self):
+        assert parse_location("/a/b/c.py:7") == ("/a/b/c.py", 7, None)
+
+    def test_windows_style_colon_in_path(self):
+        # rpartition: the LAST colon separates the line number
+        file, line, cond = parse_location("C:/code/app.py:3")
+        assert file == "C:/code/app.py" and line == 3
+
+    def test_empty_condition_is_none(self):
+        assert parse_location("f.py:1,")[2] is None
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(CommandError):
+            parse_location("app.py")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(CommandError):
+            parse_location("app.py:twelve")
+
+
+class TestShellDispatchOffline:
+    """Verbs that fail cleanly without a connection."""
+
+    def _shell(self):
+        from repro.client import DebugClient, Shell
+        client = DebugClient()
+        return Shell(client), client
+
+    def test_empty_line_is_noop(self):
+        shell, client = self._shell()
+        assert shell.execute("") == ""
+        client.close()
+
+    def test_unknown_command_rejected(self):
+        shell, client = self._shell()
+        with pytest.raises(CommandError, match="unknown command"):
+            shell.execute("frobnicate now")
+        client.close()
+
+    def test_command_needing_session_fails_without_one(self):
+        shell, client = self._shell()
+        with pytest.raises(CommandError, match="no attached sessions"):
+            shell.execute("breaks")
+        client.close()
+
+    def test_command_needing_view_fails_without_one(self):
+        shell, client = self._shell()
+        with pytest.raises(CommandError, match="no active view"):
+            shell.execute("continue")
+        client.close()
+
+    def test_aliases_resolve(self):
+        shell, client = self._shell()
+        # 'c' routes to continue (and then fails for want of a view)
+        with pytest.raises(CommandError, match="no active view"):
+            shell.execute("c")
+        client.close()
+
+    def test_p_requires_expression(self):
+        shell, client = self._shell()
+        with pytest.raises(CommandError):
+            shell.execute("p")
+        client.close()
+
+    def test_disturb_validates_argument(self):
+        shell, client = self._shell()
+        with pytest.raises(CommandError, match="on.*off|'on' or 'off'"):
+            shell.execute("disturb maybe")
+        client.close()
+
+    def test_threads_with_no_sessions(self):
+        shell, client = self._shell()
+        assert shell.execute("threads") == "no sessions"
+        client.close()
+
+    def test_sessions_with_no_sessions(self):
+        shell, client = self._shell()
+        assert shell.execute("sessions") == "no sessions"
+        client.close()

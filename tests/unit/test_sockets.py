@@ -1,0 +1,147 @@
+"""Unit tests: connection/endpoint primitives (repro.server.sockets)."""
+
+import os
+import socket
+
+import pytest
+
+from repro.server import protocol
+from repro.server.sockets import Connection, ListenEndpoint, connect_endpoint
+from repro.util.errors import ProtocolError
+from repro.util.framing import recv_frame
+
+
+def tcp_pair():
+    """A connected (server-side Connection, client socket) pair."""
+    endpoint = ListenEndpoint()
+    client = socket.create_connection(("127.0.0.1", endpoint.port),
+                                      timeout=5)
+    server_conn = endpoint.accept()
+    endpoint.close()
+    return server_conn, client
+
+
+class TestConnection:
+    def test_send_is_framed(self):
+        conn, client = tcp_pair()
+        assert conn.send({"hello": 1})
+        assert recv_frame(client) == {"hello": 1}
+        conn.close()
+        client.close()
+
+    def test_send_after_close_returns_false(self):
+        conn, client = tcp_pair()
+        conn.close()
+        assert not conn.send({"x": 1})
+        client.close()
+
+    def test_send_to_dead_peer_marks_closed(self):
+        conn, client = tcp_pair()
+        client.close()
+        # first sends may be buffered; eventually the broken pipe shows
+        for _ in range(64):
+            if not conn.send({"spam": "x" * 8192}):
+                break
+        assert conn.closed
+        conn.close()
+
+    def test_role_adoption_validates(self):
+        conn, client = tcp_pair()
+        with pytest.raises(ProtocolError):
+            conn.adopt_role({"type": "hello", "version": 1,
+                             "role": "superuser"})
+        conn.adopt_role(protocol.make_hello(
+            protocol.ROLE_SOURCE, pid=1, session_token="t"))
+        assert conn.role == protocol.ROLE_SOURCE
+        assert not conn.awaiting_hello
+        conn.close()
+        client.close()
+
+    def test_close_idempotent(self):
+        conn, client = tcp_pair()
+        conn.close()
+        conn.close()
+        client.close()
+
+
+class TestShutdownSemantics:
+    """The §5.3/Fig. 5 regression, pinned at socket level."""
+
+    def test_owner_close_shuts_down_peer(self):
+        conn, client = tcp_pair()
+        conn.close(shutdown=True)
+        assert recv_frame(client) is None  # peer sees EOF
+        client.close()
+
+    @pytest.mark.forks
+    def test_inherited_close_without_shutdown_keeps_stream(self):
+        """A forked child closing its descriptor copies (no shutdown)
+        must NOT sever the parent's connection."""
+        conn, client = tcp_pair()
+        pid = os.fork()
+        if pid == 0:
+            # the child: drop inherited copies the fork-handler way
+            conn.close(shutdown=False)
+            client.close()
+            os._exit(0)
+        os.waitpid(pid, 0)
+        # parent's connection still works in both directions
+        assert conn.send({"still": "alive"})
+        assert recv_frame(client) == {"still": "alive"}
+        conn.close()
+        client.close()
+
+    @pytest.mark.forks
+    def test_inherited_close_with_shutdown_would_break_parent(self):
+        """Documents WHY shutdown=False exists: the opposite choice
+        kills the parent's live stream."""
+        conn, client = tcp_pair()
+        pid = os.fork()
+        if pid == 0:
+            conn.close(shutdown=True)  # the bug, on purpose
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert recv_frame(client) is None  # parent's stream is dead
+        conn.close()
+        client.close()
+
+
+class TestListenEndpoint:
+    def test_ephemeral_port_assigned(self):
+        endpoint = ListenEndpoint()
+        assert endpoint.port > 0
+        endpoint.close()
+
+    def test_two_endpoints_distinct_ports(self):
+        a, b = ListenEndpoint(), ListenEndpoint()
+        assert a.port != b.port
+        a.close()
+        b.close()
+
+    def test_close_idempotent(self):
+        endpoint = ListenEndpoint()
+        endpoint.close()
+        endpoint.close()
+        assert endpoint.closed
+
+
+class TestConnectEndpoint:
+    def test_sends_hello_on_connect(self):
+        endpoint = ListenEndpoint()
+        sock = connect_endpoint("127.0.0.1", endpoint.port,
+                                protocol.ROLE_COMMAND, pid=9,
+                                session_token="tok")
+        server_conn = endpoint.accept()
+        data = server_conn.sock.recv(65536)
+        server_conn.decoder.feed(data)
+        hello = next(server_conn.decoder.messages())
+        assert hello["role"] == "command"
+        assert hello["session_token"] == "tok"
+        sock.close()
+        server_conn.close()
+        endpoint.close()
+
+    def test_invalid_role_rejected_before_dialing(self):
+        with pytest.raises(ProtocolError):
+            connect_endpoint("127.0.0.1", 1, "admin", pid=1,
+                             session_token="t")

@@ -1,0 +1,151 @@
+"""Unit tests: stepping state machines (repro.tracing.stepping).
+
+Frames are identity tokens only, so plain objects stand in.
+"""
+
+from repro.tracing.stepping import StepMode, StepState
+
+
+class FakeFrame:
+    def __init__(self, lineno=1):
+        self.f_lineno = lineno
+
+
+class TestContinueMode:
+    def test_default_is_continue(self):
+        state = StepState()
+        assert state.mode is StepMode.CONTINUE
+        assert state.is_running_free
+
+    def test_never_stops(self):
+        state = StepState()
+        frame = FakeFrame()
+        assert not state.should_stop_on_line(frame)
+        assert not state.should_stop_on_call(frame)
+        assert not state.should_stop_on_return(frame)
+
+    def test_no_call_tracing_wanted(self):
+        """The fast path: CONTINUE must not request local tracing."""
+        assert not StepState().wants_call_tracing(FakeFrame())
+
+
+class TestStepMode:
+    def test_stops_on_any_line(self):
+        state = StepState()
+        state.set_step()
+        assert state.should_stop_on_line(FakeFrame())
+        assert state.should_stop_on_line(FakeFrame())
+
+    def test_stops_on_call(self):
+        state = StepState()
+        state.set_step()
+        assert state.should_stop_on_call(FakeFrame())
+
+    def test_stops_on_return(self):
+        state = StepState()
+        state.set_step()
+        assert state.should_stop_on_return(FakeFrame())
+
+    def test_wants_tracing(self):
+        state = StepState()
+        state.set_step()
+        assert state.wants_call_tracing(FakeFrame())
+
+
+class TestNextMode:
+    def test_stops_only_in_own_frame(self):
+        state = StepState()
+        mine, other = FakeFrame(), FakeFrame()
+        state.set_next(mine)
+        assert state.should_stop_on_line(mine)
+        assert not state.should_stop_on_line(other)
+
+    def test_does_not_stop_on_call(self):
+        state = StepState()
+        frame = FakeFrame()
+        state.set_next(frame)
+        assert not state.should_stop_on_call(FakeFrame())
+
+    def test_frame_return_degrades_to_step(self):
+        """When the stop frame returns, stop at the caller's next line."""
+        state = StepState()
+        frame = FakeFrame()
+        state.set_next(frame)
+        assert not state.should_stop_on_return(frame)
+        assert state.mode is StepMode.STEP
+
+    def test_other_frame_return_ignored(self):
+        state = StepState()
+        frame = FakeFrame()
+        state.set_next(frame)
+        state.should_stop_on_return(FakeFrame())
+        assert state.mode is StepMode.NEXT
+
+
+class TestReturnMode:
+    def test_runs_past_lines_in_own_frame(self):
+        state = StepState()
+        frame = FakeFrame()
+        state.set_return(frame)
+        assert not state.should_stop_on_line(frame)
+
+    def test_converts_on_own_return(self):
+        state = StepState()
+        frame = FakeFrame()
+        state.set_return(frame)
+        state.should_stop_on_return(frame)
+        assert state.mode is StepMode.STEP
+
+
+class TestUntilMode:
+    def test_stops_past_target_line_same_frame(self):
+        state = StepState()
+        frame = FakeFrame(lineno=10)
+        state.set_until(frame)  # until past line 10
+        frame.f_lineno = 10
+        assert not state.should_stop_on_line(frame)
+        frame.f_lineno = 9  # loop back
+        assert not state.should_stop_on_line(frame)
+        frame.f_lineno = 11
+        assert state.should_stop_on_line(frame)
+
+    def test_explicit_line(self):
+        state = StepState()
+        frame = FakeFrame(lineno=5)
+        state.set_until(frame, line=20)
+        frame.f_lineno = 15
+        assert not state.should_stop_on_line(frame)
+        frame.f_lineno = 21
+        assert state.should_stop_on_line(frame)
+
+    def test_ignores_other_frames(self):
+        state = StepState()
+        frame = FakeFrame(lineno=5)
+        state.set_until(frame)
+        assert not state.should_stop_on_line(FakeFrame(lineno=100))
+
+
+class TestSuspendMode:
+    def test_stops_everywhere(self):
+        state = StepState()
+        state.set_suspend()
+        assert state.should_stop_on_line(FakeFrame())
+        assert state.should_stop_on_call(FakeFrame())
+        assert state.should_stop_on_return(FakeFrame())
+
+
+class TestNotifyStopped:
+    def test_resets_to_continue(self):
+        state = StepState()
+        frame = FakeFrame()
+        state.set_next(frame)
+        state.notify_stopped()
+        assert state.mode is StepMode.CONTINUE
+        assert state.stop_frame is None
+
+    def test_full_cycle_step_then_continue(self):
+        state = StepState()
+        state.set_step()
+        assert state.should_stop_on_line(FakeFrame())
+        state.notify_stopped()
+        assert not state.should_stop_on_line(FakeFrame())

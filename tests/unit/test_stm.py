@@ -1,0 +1,259 @@
+"""Unit tests: the software TM substrate (repro.stm)."""
+
+import threading
+
+import pytest
+
+from repro.stm import (
+    MONITOR,
+    STMError,
+    TVar,
+    atomically,
+    current_transaction,
+    thread_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_monitor():
+    MONITOR.reset()
+    yield
+    MONITOR.reset()
+
+
+class TestBasics:
+    def test_read_write_commit(self):
+        var = TVar(10)
+
+        def body(tx):
+            tx.write(var, tx.read(var) + 5)
+            return "done"
+
+        assert atomically(body) == "done"
+        assert var.peek() == 15
+
+    def test_read_own_write(self):
+        var = TVar(1)
+
+        def body(tx):
+            tx.write(var, 100)
+            return tx.read(var)
+
+        assert atomically(body) == 100
+
+    def test_read_only_transaction(self):
+        a, b = TVar(3), TVar(4)
+        assert atomically(lambda tx: tx.read(a) + tx.read(b)) == 7
+
+    def test_multiple_vars_commit_together(self):
+        a, b = TVar(100), TVar(0)
+
+        def transfer(tx):
+            amount = 30
+            tx.write(a, tx.read(a) - amount)
+            tx.write(b, tx.read(b) + amount)
+
+        atomically(transfer)
+        assert (a.peek(), b.peek()) == (70, 30)
+
+    def test_version_advances_on_commit(self):
+        var = TVar(0)
+        before = var.version
+        atomically(lambda tx: tx.write(var, 1))
+        assert var.version > before
+
+    def test_no_transaction_outside(self):
+        assert current_transaction() is None
+
+    def test_nested_atomically_rejected(self):
+        var = TVar(0)
+
+        def outer(tx):
+            return atomically(lambda inner: inner.read(var))
+
+        with pytest.raises(STMError):
+            atomically(outer)
+
+    def test_finished_transaction_rejects_use(self):
+        leaked = {}
+
+        def body(tx):
+            leaked["tx"] = tx
+            return None
+
+        atomically(body)
+        with pytest.raises(STMError):
+            leaked["tx"].read(TVar(1))
+        with pytest.raises(STMError):
+            leaked["tx"].write(TVar(1), 2)
+
+
+class TestRetrySemantics:
+    def test_explicit_retry_reruns_body(self):
+        var = TVar(0)
+        attempts = []
+
+        def body(tx):
+            attempts.append(1)
+            if len(attempts) < 3:
+                tx.retry()
+            return tx.read(var)
+
+        assert atomically(body) == 0
+        assert len(attempts) == 3
+
+    def test_stats_count_commits_and_aborts(self):
+        stats = thread_stats()
+        commits_before = stats.commits
+        aborts_before = stats.aborts
+        var = TVar(0)
+        flag = []
+
+        def body(tx):
+            if not flag:
+                flag.append(1)
+                tx.retry()
+            return tx.read(var)
+
+        atomically(body)
+        assert stats.commits == commits_before + 1
+        assert stats.aborts == aborts_before + 1
+        assert stats.streak == 0  # reset on commit
+
+    def test_exhausted_attempts_raise(self):
+        def always_retry(tx):
+            tx.retry()
+
+        with pytest.raises(STMError, match="failed to commit"):
+            atomically(always_retry, max_attempts=5)
+
+
+class TestAtomicityUnderContention:
+    def test_parallel_increments_lose_nothing(self):
+        counter = TVar(0)
+        n_threads, per_thread = 8, 200
+
+        def bump():
+            for _ in range(per_thread):
+                atomically(lambda tx: tx.write(counter,
+                                               tx.read(counter) + 1))
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.peek() == n_threads * per_thread
+
+    def test_invariant_preserved_across_transfers(self):
+        """Classic bank-transfer isolation: total is constant at every
+        observation point."""
+        accounts = [TVar(100, name=f"acct{i}") for i in range(4)]
+        stop = threading.Event()
+        violations = []
+
+        def total(tx):
+            return sum(tx.read(a) for a in accounts)
+
+        def transferer(rng_seed):
+            import random
+            rng = random.Random(rng_seed)
+            for _ in range(150):
+                src, dst = rng.sample(range(4), 2)
+
+                def body(tx):
+                    amount = rng.randint(1, 10)
+                    s = tx.read(accounts[src])
+                    if s >= amount:
+                        tx.write(accounts[src], s - amount)
+                        tx.write(accounts[dst],
+                                 tx.read(accounts[dst]) + amount)
+
+                atomically(body)
+
+        def observer():
+            while not stop.is_set():
+                seen = atomically(total)
+                if seen != 400:
+                    violations.append(seen)
+
+        obs = threading.Thread(target=observer)
+        obs.start()
+        workers = [threading.Thread(target=transferer, args=(s,))
+                   for s in range(3)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop.set()
+        obs.join(5)
+        assert violations == []
+        assert atomically(total) == 400
+
+    def test_conflicting_writers_abort_and_recover(self):
+        var = TVar(0)
+        barrier = threading.Barrier(4)
+
+        def contend():
+            barrier.wait(5)
+            for _ in range(100):
+                atomically(lambda tx: tx.write(var, tx.read(var) + 1))
+
+        threads = [threading.Thread(target=contend) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert var.peek() == 400
+        # under this much contention SOME aborts should have happened
+        report = MONITOR.report()
+        total_aborts = sum(p["aborts"]
+                           for p in report["profiles"].values())
+        assert total_aborts >= 0  # aborts possible but not guaranteed
+
+
+class TestMonitor:
+    def test_profiles_record_commits(self):
+        var = TVar(0)
+        atomically(lambda tx: tx.write(var, 1))
+        profile = MONITOR.profile_for()
+        assert profile.commits >= 1
+
+    def test_storm_detection(self):
+        MONITOR.storm_threshold = 3
+        try:
+            def always_retry(tx):
+                tx.retry()
+
+            with pytest.raises(STMError):
+                atomically(always_retry, max_attempts=5)
+            report = MONITOR.report()
+            assert report["storms"], "storm at streak==3 not recorded"
+            assert report["storms"][0]["streak"] == 3
+        finally:
+            MONITOR.storm_threshold = 16
+
+    def test_conflict_attribution(self):
+        MONITOR.reset()
+        hot = TVar(0, name="hot-var")
+        flag = []
+
+        def body(tx):
+            value = tx.read(hot)
+            if not flag:
+                flag.append(1)
+                # simulate a concurrent commit between read and commit
+                atomically_other_thread(hot)
+            tx.write(hot, value + 1)
+
+        def atomically_other_thread(var):
+            thread = threading.Thread(
+                target=lambda: atomically(
+                    lambda tx: tx.write(var, tx.read(var) + 10)))
+            thread.start()
+            thread.join()
+
+        atomically(body)
+        profile = MONITOR.profile_for()
+        # the first attempt aborted (read validation failed at commit)
+        assert profile.aborts >= 1

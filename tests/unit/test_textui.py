@@ -1,0 +1,118 @@
+"""Unit tests: the Fig. 2 text renderer (repro.client.textui)."""
+
+import pytest
+
+from repro.client.textui import PANE_WIDTH, TextUI, _fit
+from repro.client import DebugClient
+from repro.tracing.frames import FrameInfo, StackCapture
+from repro.util.errors import ViewError
+from repro.util.ids import UEId
+
+
+class TestFit:
+    def test_pads_short_text(self):
+        assert _fit("abc", 10) == "abc       "
+
+    def test_truncates_long_text_with_ellipsis(self):
+        out = _fit("x" * 100, 10)
+        assert len(out) == 10
+        assert out.endswith("...")
+
+    def test_exact_width_untouched(self):
+        assert _fit("y" * 10, 10) == "y" * 10
+
+
+class FakeSession:
+    pid = 4242
+    program = "fake"
+
+    def threads(self):
+        return [{"ue": {"pid": self.pid, "tid": 1},
+                 "label": "process 4242 / main thread", "parked": True},
+                {"ue": {"pid": self.pid, "tid": 2},
+                 "label": "process 4242 / thread 2", "parked": False}]
+
+    def fetch_source(self, file, start=1, end=None):
+        lines = [f"line {i} of {file}" for i in range(start, (end or start) + 1)]
+        return {"file": file, "start": start, "lines": lines}
+
+
+class FakeView:
+    def __init__(self, stopped=True):
+        self.ue = UEId(4242, 1)
+        self.session = FakeSession()
+        self.is_stopped = stopped
+        self.capture = StackCapture(
+            frames=[FrameInfo(file="/app/worker.py", line=12,
+                              function="crunch", source="x = f(y)",
+                              locals={"x": "1", "y": "2"})],
+            reason="breakpoint", breakpoint_id=1) if stopped else None
+
+    def render(self, context=6):
+        return {
+            "ue": str(self.ue), "file": "/app/worker.py", "line": 12,
+            "function": "crunch", "reason": "breakpoint",
+            "source": ["   10  a", "-> 12  x = f(y)"],
+            "variables": {"x": "1", "y": "2"},
+            "stack": ["crunch at /app/worker.py:12"],
+        }
+
+
+class TestPanes:
+    def test_source_pane_stopped(self):
+        ui = TextUI(DebugClient())
+        pane = ui.source_pane(FakeView())
+        assert "worker.py:12 in crunch() [breakpoint]" in pane[0]
+        assert any("->" in line for line in pane)
+
+    def test_source_pane_running(self):
+        ui = TextUI(DebugClient())
+        pane = ui.source_pane(FakeView(stopped=False))
+        assert "running" in pane[0]
+
+    def test_variables_pane(self):
+        ui = TextUI(DebugClient())
+        pane = ui.variables_pane(FakeView())
+        assert "x = 1" in pane and "y = 2" in pane
+
+    def test_variables_pane_truncation(self):
+        ui = TextUI(DebugClient(), max_variables=1)
+        view = FakeView()
+        pane = ui.variables_pane(view)
+        assert len(pane) == 2
+        assert "more)" in pane[-1]
+
+    def test_variables_pane_not_stopped(self):
+        ui = TextUI(DebugClient())
+        assert ui.variables_pane(FakeView(stopped=False)) == \
+            ["(not stopped)"]
+
+    def test_output_pane_empty(self):
+        client = DebugClient()
+        ui = TextUI(client)
+        assert ui.output_pane(999) == ["(no output)"]
+        client.close()
+
+    def test_output_pane_tail(self):
+        client = DebugClient()
+        with client._lock:  # noqa: SLF001 - direct buffer injection
+            client._output[7] = [("stdout", f"line{i}\n")
+                                 for i in range(20)]
+        ui = TextUI(client, output_tail=3)
+        pane = ui.output_pane(7)
+        assert pane == ["line17", "line18", "line19"]
+        client.close()
+
+    def test_processes_pane_no_sessions(self):
+        client = DebugClient()
+        ui = TextUI(client)
+        assert ui.processes_pane() == ["(no debuggees attached)"]
+        client.close()
+
+
+class TestRenderErrors:
+    def test_render_with_no_views_raises(self):
+        client = DebugClient()
+        with pytest.raises(ViewError):
+            TextUI(client).render()
+        client.close()

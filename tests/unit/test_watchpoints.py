@@ -1,0 +1,154 @@
+"""Unit tests: watchpoints (repro.tracing.watchpoints)."""
+
+import sys
+
+import pytest
+
+from repro.tracing.watchpoints import WatchpointStore
+from repro.util.errors import BreakpointError
+from repro.util.ids import UEId
+
+UE = UEId(1, 1)
+OTHER = UEId(1, 2)
+
+
+def frame_with(**variables):
+    """A real frame whose locals are *variables*."""
+    for name, value in variables.items():
+        locals()[name] = value
+    return sys._getframe()
+
+
+@pytest.fixture
+def store():
+    return WatchpointStore()
+
+
+class TestStore:
+    def test_add_and_snapshot(self, store):
+        watch = store.add("x + 1")
+        assert watch.expression == "x + 1"
+        snap = store.snapshot_state()
+        assert snap[0]["expression"] == "x + 1"
+        assert len(store) == 1
+
+    def test_empty_expression_rejected(self, store):
+        with pytest.raises(BreakpointError):
+            store.add("   ")
+
+    def test_syntax_error_rejected_eagerly(self, store):
+        with pytest.raises(SyntaxError):
+            store.add("x +")
+
+    def test_remove(self, store):
+        watch = store.add("x")
+        store.remove(watch.id)
+        assert store.is_empty
+
+    def test_remove_unknown(self, store):
+        with pytest.raises(BreakpointError):
+            store.remove(99)
+
+    def test_on_change_fires(self):
+        calls = []
+        store = WatchpointStore()
+        store.on_change = lambda: calls.append(1)
+        watch = store.add("x")
+        store.remove(watch.id)
+        store.clear()
+        assert len(calls) == 3
+
+
+class TestEvaluation:
+    def test_first_observation_does_not_fire(self, store):
+        store.add("x")
+        assert store.evaluate(UE, frame_with(x=1)) is None
+
+    def test_change_fires_with_old_and_new(self, store):
+        watch = store.add("x")
+        store.evaluate(UE, frame_with(x=1))
+        hit = store.evaluate(UE, frame_with(x=2))
+        assert hit is not None
+        assert hit.watch_id == watch.id
+        assert hit.old_value == "1" and hit.new_value == "2"
+        assert watch.hit_count == 1
+
+    def test_unchanged_value_does_not_fire(self, store):
+        store.add("x")
+        store.evaluate(UE, frame_with(x=5))
+        assert store.evaluate(UE, frame_with(x=5)) is None
+
+    def test_per_ue_memory(self, store):
+        """Each UE tracks its own last value (thread-local variables)."""
+        store.add("x")
+        store.evaluate(UE, frame_with(x=1))
+        # OTHER sees x for the first time: no hit
+        assert store.evaluate(OTHER, frame_with(x=99)) is None
+        # UE's change still fires
+        assert store.evaluate(UE, frame_with(x=2)) is not None
+
+    def test_unobservable_expression_skipped(self, store):
+        store.add("not_defined_here")
+        assert store.evaluate(UE, frame_with(x=1)) is None
+
+    def test_disabled_watch_ignored(self, store):
+        watch = store.add("x")
+        store.evaluate(UE, frame_with(x=1))
+        store.set_enabled(watch.id, False)
+        assert store.evaluate(UE, frame_with(x=2)) is None
+
+    def test_globals_visible(self, store):
+        store.add("__name__")
+        first = store.evaluate(UE, frame_with())
+        assert first is None  # observed once, no change
+
+    def test_hit_is_wire_safe(self, store):
+        import json
+        store.add("x")
+        store.evaluate(UE, frame_with(x=[1]))
+        hit = store.evaluate(UE, frame_with(x=[1, 2]))
+        json.dumps(hit.to_wire())
+
+    def test_reset_after_fork_clears_memory(self, store):
+        store.add("x")
+        store.evaluate(UE, frame_with(x=1))
+        store.reset_after_fork()
+        # first post-fork observation: no spurious hit
+        assert store.evaluate(UE, frame_with(x=42)) is None
+
+
+class TestEngineIntegration:
+    def test_watch_stops_on_change(self):
+        import threading
+        from repro.tracing.engine import TraceEngine
+        from repro.tracing.control import ResumeCommand
+
+        stops = []
+        engine = TraceEngine(park_timeout=5.0)
+
+        def on_stop(ue, capture):
+            stops.append(capture)
+            threading.Thread(
+                target=lambda: engine.controller.release(
+                    ue, ResumeCommand("continue"))).start()
+
+        engine.on_stop = on_stop
+        engine.watchpoints.add("total")
+
+        def target():
+            total = 0
+            for i in range(3):
+                total += 10
+            return total
+
+        engine.install()
+        try:
+            result = target()
+        finally:
+            engine.uninstall()
+        assert result == 30
+        watch_stops = [c for c in stops if c.reason == "watch"]
+        assert len(watch_stops) == 3  # 0->10, 10->20, 20->30
+        assert watch_stops[0].watch["expression"] == "total"
+        assert watch_stops[0].watch["old_value"] == "0"
+        assert watch_stops[0].watch["new_value"] == "10"

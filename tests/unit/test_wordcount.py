@@ -1,0 +1,66 @@
+"""Unit tests: the word-count job (repro.mapreduce.wordcount)."""
+
+from repro.mapreduce.wordcount import (
+    map_wordcount,
+    merge_counts,
+    reduce_wordcount,
+    tokenize,
+    top_words,
+)
+
+
+class TestTokenize:
+    def test_letters_only(self):
+        assert tokenize("alpha beta42 gamma_x delta") == \
+            ["alpha", "beta", "gamma", "x", "delta"]
+
+    def test_reserved_words_dropped(self):
+        tokens = tokenize("while counter remains if positive")
+        assert "while" not in tokens and "if" not in tokens
+        assert "counter" in tokens and "positive" in tokens
+
+    def test_case_sensitive_tokens(self):
+        assert tokenize("Total total") == ["Total", "total"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_punctuation_splits(self):
+        assert tokenize("foo(bar->baz);") == ["foo", "bar", "baz"]
+
+
+class TestMapReduceFunctions:
+    def test_map_counts_one_document(self):
+        counts = map_wordcount(("doc.txt", "spam eggs spam"))
+        assert counts == {"spam": 2, "eggs": 1}
+
+    def test_reduce_sums(self):
+        assert reduce_wordcount("word", [1, 2, 3]) == 6
+
+    def test_merge_counts_matches_reduce(self):
+        docs = [("a", "x y x"), ("b", "y z"), ("c", "x")]
+        merged = merge_counts(map_wordcount(d) for d in docs)
+        assert merged == {"x": 3, "y": 2, "z": 1}
+
+    def test_map_reduce_identity(self):
+        """reduce over per-doc maps == count over concatenation."""
+        docs = [("a", "p q"), ("b", "q r r")]
+        partials = [map_wordcount(d) for d in docs]
+        keys = {k for p in partials for k in p}
+        reduced = {k: reduce_wordcount(k, [p.get(k, 0) for p in partials])
+                   for k in keys}
+        whole = map_wordcount(("all", "p q q r r"))
+        assert reduced == whole
+
+
+class TestTopWords:
+    def test_sorted_by_count_then_alpha(self):
+        freq = {"bb": 2, "aa": 2, "cc": 5}
+        assert top_words(freq, 3) == [("cc", 5), ("aa", 2), ("bb", 2)]
+
+    def test_limit(self):
+        freq = {c: 1 for c in "abcdefgh"}
+        assert len(top_words(freq, 3)) == 3
+
+    def test_empty(self):
+        assert top_words({}, 5) == []

@@ -1,0 +1,112 @@
+"""Unit tests: the §6.4 worker pools (repro.workerpool)."""
+
+import pytest
+
+from repro.workerpool import BuggyWorkerPool, FixedWorkerPool
+from repro.workerpool.pool import WorkerPoolBase, make_channels
+from repro.util.errors import PoolError
+
+pytestmark = pytest.mark.forks
+
+
+def double(x):
+    return x * 2
+
+
+def failing(x):
+    if x == 3:
+        raise RuntimeError("task 3 explodes")
+    return x
+
+
+class TestFixedPool:
+    def test_map_returns_ordered_results(self):
+        pool = FixedWorkerPool(3, join_timeout=5.0)
+        results, outcomes = pool.map(double, list(range(9)))
+        assert results == [x * 2 for x in range(9)]
+        assert all(o.finished for o in outcomes)
+        assert not any(o.hung for o in outcomes)
+
+    def test_single_worker(self):
+        pool = FixedWorkerPool(1, join_timeout=5.0)
+        results, outcomes = pool.map(double, [1, 2, 3])
+        assert results == [2, 4, 6]
+
+    def test_more_workers_than_tasks(self):
+        pool = FixedWorkerPool(4, join_timeout=5.0)
+        results, outcomes = pool.map(double, [5])
+        assert results == [10]
+        assert all(o.finished for o in outcomes)
+
+    def test_empty_tasks(self):
+        pool = FixedWorkerPool(2, join_timeout=5.0)
+        results, outcomes = pool.map(double, [])
+        assert results == []
+        assert all(o.finished for o in outcomes)
+
+    def test_workers_really_are_processes(self):
+        import os
+        pool = FixedWorkerPool(2, join_timeout=5.0)
+        results, outcomes = pool.map(lambda _x: os.getpid(), [1, 2])
+        assert results[0] != os.getpid()
+        assert {o.pid for o in outcomes} == set(results)
+
+    def test_repeated_maps_are_independent(self):
+        for _ in range(3):
+            pool = FixedWorkerPool(2, join_timeout=5.0)
+            results, _ = pool.map(double, [1, 2, 3, 4])
+            assert results == [2, 4, 6, 8]
+
+
+class TestBuggyPool:
+    def test_deadlocks_with_race_window(self):
+        """§6.4: sibling pipe copies keep workers from seeing EOF."""
+        pool = BuggyWorkerPool(3, join_timeout=1.0, race_window=True)
+        _results, outcomes = pool.map(double, list(range(6)))
+        assert any(o.hung for o in outcomes), \
+            "expected the §6.4 deadlock with a full race window"
+
+    def test_single_worker_cannot_deadlock(self):
+        """With one worker there are no siblings to leak pipes to."""
+        pool = BuggyWorkerPool(1, join_timeout=3.0, race_window=True)
+        results, outcomes = pool.map(double, [1, 2, 3])
+        assert results == [2, 4, 6]
+        assert not any(o.hung for o in outcomes)
+
+    def test_hung_workers_are_reaped(self):
+        """map() must not leak zombie children even when they hang."""
+        import os
+        pool = BuggyWorkerPool(3, join_timeout=0.5, race_window=True)
+        _results, outcomes = pool.map(double, list(range(6)))
+        for outcome in outcomes:
+            if outcome.pid is None:
+                continue
+            # after map() returns, the child is reaped: kill(pid, 0) must
+            # fail (no such process) or the pid belongs to someone new.
+            try:
+                os.kill(outcome.pid, 0)
+                alive = True
+            except OSError:
+                alive = False
+            assert not alive, f"worker {outcome.pid} leaked"
+
+
+class TestBaseValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(PoolError):
+            FixedWorkerPool(0)
+
+    def test_base_spawn_is_abstract(self):
+        base = WorkerPoolBase(1)
+        with pytest.raises(NotImplementedError):
+            base._spawn_all(double, [[1]])
+
+    def test_make_channels_roles(self):
+        ch = make_channels(0)
+        assert ch.task_reader.readable and not ch.task_reader.writable
+        assert ch.task_writer.writable
+        assert ch.result_reader.readable
+        assert ch.result_writer.writable
+        for conn in (ch.task_reader, ch.task_writer,
+                     ch.result_reader, ch.result_writer):
+            conn.close()
