@@ -1,0 +1,25 @@
+# Test tiers.
+#
+#   make test    — tier 1: unit + property + integration (excludes stress
+#                  via pyproject addopts); the gate every change must pass.
+#   make stress  — the seeded fault-injection scenarios in tests/stress
+#                  (pytest -m stress overrides the addopts exclusion).
+#   make check   — both tiers.
+#
+# Every target is wall-clock bounded so a wedged scenario kills the run
+# instead of the CI job.
+
+PYTHON      ?= python
+PYTHONPATH  := src
+TIER1_LIMIT ?= 900
+STRESS_LIMIT ?= 600
+
+.PHONY: test stress check
+
+test:
+	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x
+
+stress:
+	timeout $(STRESS_LIMIT) env PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/stress -m stress
+
+check: test stress

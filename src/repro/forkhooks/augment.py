@@ -33,6 +33,7 @@ import os
 import threading
 from typing import Callable, Optional
 
+from ..testkit import faults
 from ..util.errors import ForkHookError
 from ..util.ringlog import debug_event
 from .registry import ForkHandlerRegistry
@@ -126,6 +127,10 @@ class ForkPatcher:
         registry = self.registry
         registry.run_prepare()  # A — may raise, aborting the fork
         try:
+            # Injection point fork.os_fork: a raised OSError (EAGAIN,
+            # ENOMEM...) is fork(2) itself failing after prepare ran —
+            # the unwind below must leave the parent exactly as found.
+            faults.maybe_fault("fork.os_fork")
             pid = self._original_fork()
         except BaseException:
             registry.run_parent()  # undo A; we are still the parent

@@ -187,10 +187,15 @@ def run_around_fork(registry: ForkHandlerRegistry,
     """Execute *fork* bracketed by the registry's three phases.
 
     Returns ``(pid, is_child)``.  This is the skeleton both the augmented
-    ``os.fork`` (repro.forkhooks.augment) and tests drive.
+    ``os.fork`` (repro.forkhooks.augment) and tests drive.  The
+    ``fork.os_fork`` injection point fires between prepare and the fork
+    call, standing in for ``fork(2)`` failing (EAGAIN/ENOMEM) at the
+    worst moment.
     """
+    from ..testkit import faults
     registry.run_prepare()
     try:
+        faults.maybe_fault("fork.os_fork")
         pid = fork()
     except BaseException:
         # fork itself failed: the parent still holds everything prepare

@@ -24,8 +24,10 @@ from __future__ import annotations
 import os
 import select
 import threading
+import time
 from typing import Any, List, Optional, Tuple
 
+from ..testkit import faults
 from ..util.errors import QueueClosed
 from . import reduction
 
@@ -96,21 +98,36 @@ class Connection:
     def send(self, obj: Any) -> int:
         if self._closed or self._write_fd is None:
             raise QueueClosed(f"{self.label} is not writable")
+        faults.maybe_fault("mp.conn.send")
         with self._send_lock:
             return reduction.send_obj(self._write_fd, obj)
 
     def recv(self) -> Any:
         if self._closed or self._read_fd is None:
             raise QueueClosed(f"{self.label} is not readable")
+        faults.maybe_fault("mp.conn.recv")
         with self._recv_lock:
             return reduction.recv_obj(self._read_fd)
 
     def poll(self, timeout: float = 0.0) -> bool:
-        """True if a recv would not block (data buffered or EOF pending)."""
+        """True if a recv would not block (data buffered or EOF pending).
+
+        Retries EINTR explicitly (injection point ``mp.conn.poll``): a
+        signal landing mid-poll must shorten the wait, not break it.
+        """
         if self._closed or self._read_fd is None:
             raise QueueClosed(f"{self.label} is not readable")
-        ready, _, _ = select.select([self._read_fd], [], [], timeout)
-        return bool(ready)
+        deadline = time.monotonic() + max(0.0, timeout)
+        while True:
+            try:
+                faults.maybe_fault("mp.conn.poll")
+                remaining = max(0.0, deadline - time.monotonic())
+                ready, _, _ = select.select([self._read_fd], [], [],
+                                            remaining)
+                return bool(ready)
+            except InterruptedError:
+                if time.monotonic() >= deadline:
+                    return False
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -18,14 +18,21 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 import traceback
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..util.errors import PoolError
 from .process import Process
 from .queues import Queue
+from .synchronize import Semaphore
 
 _STOP = "__pool_stop__"
+
+#: How long Pool() waits for every worker to check in before accepting
+#: work on faith.  Generous: a worker only misses this if it died (or a
+#: debugger parked it) during startup.
+_READY_TIMEOUT = 5.0
 
 
 class RemoteError(PoolError):
@@ -37,11 +44,16 @@ class RemoteError(PoolError):
         self.remote_traceback = remote_traceback
 
 
-def _pool_worker(task_queue: Queue, result_queue: Queue,
+def _pool_worker(task_queue: Queue, result_queue: Queue, ready: Semaphore,
                  initializer: Optional[Callable], initargs: Tuple) -> None:
     """Worker main loop: run in the forked child until the stop sentinel."""
     if initializer is not None:
         initializer(*initargs)
+    # Check in only once genuinely ready to consume: the parent holds
+    # Pool() open until every worker reaches this line, so the first
+    # map() finds all N workers blocked on the task queue instead of
+    # racing one early-born worker against siblings still mid-fork.
+    ready.release()
     while True:
         task = task_queue.get()
         if task == _STOP:
@@ -102,6 +114,7 @@ class Pool:
             raise PoolError("pool needs at least one process")
         self.task_queue = Queue(name="pool.tasks")
         self.result_queue = Queue(name="pool.results")
+        self._ready = Semaphore(0, name="pool.ready")
         self._task_ids = itertools.count(1)
         self._pending: Dict[int, AsyncResult] = {}
         self._pending_lock = threading.Lock()
@@ -110,7 +123,7 @@ class Pool:
         for i in range(self.processes):
             worker = Process(
                 target=_pool_worker,
-                args=(self.task_queue, self.result_queue,
+                args=(self.task_queue, self.result_queue, self._ready,
                       initializer, initargs),
                 name=f"pool-worker-{i}")
             worker.start()
@@ -118,6 +131,20 @@ class Pool:
         self._collector = threading.Thread(
             target=self._collect, name="pool-collector", daemon=True)
         self._collector.start()
+        self._await_workers_ready()
+
+    def _await_workers_ready(self) -> None:
+        """Block until every worker has checked in (bounded wait).
+
+        A worker that dies during startup must not wedge pool creation,
+        so a missed check-in degrades to a warning-by-behaviour: the
+        pool still works on whatever workers made it up.
+        """
+        deadline = time.monotonic() + _READY_TIMEOUT
+        for _ in self._workers:
+            if not self._ready.acquire(
+                    timeout=max(0.0, deadline - time.monotonic())):
+                break
 
     # -- result collection ----------------------------------------------------------
 
@@ -184,6 +211,7 @@ class Pool:
             worker.join(timeout)
         self.result_queue.put(_STOP)
         self._collector.join(timeout or 5.0)
+        self._ready.close()
 
     def terminate(self) -> None:
         self._closed = True
@@ -196,6 +224,7 @@ class Pool:
             self.result_queue.put(_STOP)
         except Exception:  # noqa: BLE001 - queue may already be closed
             pass
+        self._ready.close()
 
     def worker_pids(self) -> List[int]:
         return [w.pid for w in self._workers if w.pid is not None]

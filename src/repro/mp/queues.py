@@ -46,7 +46,14 @@ class Queue:
             seq = Queue._COUNTER
         self.name = name or f"queue-{os.getpid()}-{seq}"
         self._read_fd, self._write_fd = os.pipe()
-        self._items = Semaphore(0, name=f"{self.name}.items")
+        # The items semaphore is *fair*: without it, a consumer already
+        # hot in its get-loop drains every token before a just-forked
+        # sibling is even scheduled, and "N children share one queue"
+        # degenerates to one child doing all the work.  (Audit note: the
+        # locks themselves are pipe-token semaphores and therefore
+        # fork-safe — the inherited-state bug is starvation, not a held
+        # lock.)  See repro.mp.synchronize for the grace-window model.
+        self._items = Semaphore(0, name=f"{self.name}.items", fair=True)
         self._slots = (Semaphore(maxsize, name=f"{self.name}.slots")
                        if maxsize > 0 else None)
         self._rlock = Lock(name=f"{self.name}.rlock")

@@ -22,6 +22,7 @@ import pickle
 import struct
 from typing import Any, Optional
 
+from ..testkit import faults
 from ..util.errors import QueueClosed
 
 HEADER = struct.Struct(">I")
@@ -39,11 +40,17 @@ def loads(data: bytes) -> Any:
 
 
 def write_all(fd: int, data: bytes) -> None:
-    """Write every byte of *data* to *fd*, retrying on EINTR/short writes."""
+    """Write every byte of *data* to *fd*, retrying on EINTR/short writes.
+
+    Injection point ``mp.pipe.write``: raises inside the retry loop (so
+    an injected EINTR exercises the same ``continue`` a real signal
+    would) or clamps the per-syscall byte budget to force short writes.
+    """
     view = memoryview(data)
     while view:
         try:
-            written = os.write(fd, view)
+            budget = faults.io_fault("mp.pipe.write", len(view))
+            written = os.write(fd, view[:budget])
         except InterruptedError:
             continue
         except OSError as exc:
@@ -62,7 +69,8 @@ def read_exact(fd: int, n: int) -> Optional[bytes]:
     buf = bytearray()
     while len(buf) < n:
         try:
-            chunk = os.read(fd, n - len(buf))
+            budget = faults.io_fault("mp.pipe.read", n - len(buf))
+            chunk = os.read(fd, budget)
         except InterruptedError:
             continue
         if not chunk:

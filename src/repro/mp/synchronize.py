@@ -32,8 +32,34 @@ import threading
 import time
 from typing import Optional
 
+from ..testkit import faults
 from ..util.errors import SyncObjectError
 from ..util.ids import UEId
+
+# -- post-fork fairness -------------------------------------------------------
+#
+# A freshly forked consumer loses every race against a sibling that is
+# already hot in its get-loop: the parent forks child 1, child 1 drains
+# the whole queue in microseconds, and children 2..N are born into an
+# empty pipe (the mp-layer "one pid did all the work" failures).  Fair
+# semaphores therefore yield briefly after *uncontended* fast-path
+# acquires, but only while the process is newly forked — a bounded
+# budget inside a short grace window, so steady-state throughput pays
+# nothing.
+
+_FAIR_GRACE = 1.0       # seconds after birth during which we yield
+_FAIR_BUDGET = 64       # max yields per fork generation
+_FAIR_YIELD = 0.0005    # seconds ceded to newborn siblings per yield
+
+_birth = time.monotonic()
+
+
+def _reset_birth() -> None:
+    global _birth
+    _birth = time.monotonic()
+
+
+os.register_at_fork(after_in_child=_reset_birth)
 
 
 def _deadlock_graph():
@@ -72,7 +98,8 @@ class Semaphore:
     _COUNTER = 0
     _COUNTER_LOCK = threading.Lock()
 
-    def __init__(self, value: int = 1, name: Optional[str] = None):
+    def __init__(self, value: int = 1, name: Optional[str] = None,
+                 fair: bool = False):
         if value < 0:
             raise SyncObjectError("semaphore value must be >= 0")
         with Semaphore._COUNTER_LOCK:
@@ -83,9 +110,29 @@ class Semaphore:
         os.set_blocking(self._read_fd, False)
         if value:
             os.write(self._write_fd, b"x" * value)
+        #: fair semaphores yield to newly forked siblings (module
+        #: docstring above): opt-in, used by Queue's items semaphore.
+        self._fair = fair
+        self._fair_used = 0
+        self._fair_epoch = _birth
         self._closed = False
 
     # -- core protocol -----------------------------------------------------------
+
+    def _fair_yield(self) -> None:
+        """Cede the CPU briefly after an uncontended acquire while this
+        process is newly forked, so sibling consumers born a moment later
+        can reach the pipe before it is drained."""
+        now = time.monotonic()
+        if now - _birth >= _FAIR_GRACE:
+            return
+        if self._fair_epoch != _birth:  # new fork generation: fresh budget
+            self._fair_epoch = _birth
+            self._fair_used = 0
+        if self._fair_used >= _FAIR_BUDGET:
+            return
+        self._fair_used += 1
+        time.sleep(_FAIR_YIELD)
 
     def acquire(self, blocking: bool = True,
                 timeout: Optional[float] = None) -> bool:
@@ -94,12 +141,16 @@ class Semaphore:
             raise SyncObjectError(f"{self.name} is closed")
         deadline = None if timeout is None else time.monotonic() + timeout
         reported = False
+        blocked = False
         graph = None
         try:
             while True:
                 try:
+                    faults.maybe_fault("mp.sem.acquire")
                     data = os.read(self._read_fd, 1)
                     if data:
+                        if self._fair and blocking and not blocked:
+                            self._fair_yield()
                         return True
                     raise SyncObjectError(f"{self.name}: pipe closed")
                 except BlockingIOError:
@@ -108,6 +159,7 @@ class Semaphore:
                     continue
                 if not blocking:
                     return False
+                blocked = True
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -221,18 +273,25 @@ class Lock(Semaphore):
 class Barrier:
     """Cross-process cyclic barrier built from pipe-token semaphores.
 
-    Classic two-phase construction: an arrival counter (guarded by a
-    lock) plus a broadcast gate per generation.  Works across ``fork``
-    for the same reason the semaphores do — all state lives in shared
-    kernel pipe buffers, and :class:`SharedValue`-style counters are
-    replaced by token arithmetic:
+    Two-phase turnstile.  A single-gate barrier has a classic reuse
+    race: a fast party that clears the gate can loop around, re-arrive,
+    and steal a gate permit that still belongs to a slow party of the
+    *previous* generation, which then times out.  The second turnstile
+    closes that hole — nobody re-enters phase 1 until every party of the
+    current generation has left phase 2.
 
-    * each arrival deposits one token into ``_arrivals``;
-    * the party that deposits the N-th token becomes the *releaser*: it
-      drains all N tokens and releases N permits on ``_gate``;
-    * everyone (including the releaser) takes one gate permit and
-      proceeds.  The gate is empty again afterwards, so the barrier is
-      reusable (cyclic).
+    Works across ``fork`` for the same reason the semaphores do: all
+    state lives in shared kernel pipe buffers, with
+    :class:`SharedValue`-style counters replaced by token arithmetic:
+
+    * **phase 1 (arrive)** — under the mutex, deposit one token into
+      ``_arrivals``; the depositor of the N-th token opens ``_gate``
+      with N permits.  Everyone takes one ``_gate`` permit.
+    * **phase 2 (depart)** — under the mutex, drain one own token back
+      out of ``_arrivals``; the drainer of the last token opens
+      ``_gate2`` with N permits.  Everyone takes one ``_gate2`` permit
+      and only then may re-arrive, so each generation's permits are
+      fully consumed before the next generation can touch either gate.
     """
 
     def __init__(self, parties: int, name: Optional[str] = None):
@@ -242,29 +301,50 @@ class Barrier:
         self.name = name or f"barrier-{os.getpid()}-{id(self) & 0xffff}"
         self._arrivals = Semaphore(0, name=f"{self.name}.arrivals")
         self._gate = Semaphore(0, name=f"{self.name}.gate")
+        self._gate2 = Semaphore(0, name=f"{self.name}.gate2")
         self._mutex = Semaphore(1, name=f"{self.name}.mutex")
+
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.monotonic())
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until *parties* UEs have arrived; True on release,
         False on timeout (the barrier is then broken for this cycle)."""
-        self._arrivals.release()
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
         with _WaitScope(self.name):
-            # Am I the releaser?  Check under the mutex: exactly one
-            # waiter can observe a full complement and drain it.
-            if not self._mutex.acquire(timeout=timeout):
+            # Phase 1: arrive.  The mutex makes deposit+count atomic, so
+            # exactly one party observes the full complement.
+            if not self._mutex.acquire(timeout=self._remaining(deadline)):
                 return False
             try:
+                self._arrivals.release()
                 if self._arrivals.value() >= self.parties:
-                    for _ in range(self.parties):
-                        self._arrivals.acquire()
                     self._gate.release(self.parties)
             finally:
                 self._mutex.release()
-            return self._gate.acquire(timeout=timeout)
+            if not self._gate.acquire(timeout=self._remaining(deadline)):
+                return False
+            # Phase 2: depart.  Drain the token deposited above (one is
+            # guaranteed: gate permits only exist while arrival tokens
+            # do); the last one out opens the exit turnstile.
+            if not self._mutex.acquire(timeout=self._remaining(deadline)):
+                return False
+            try:
+                self._arrivals.acquire(blocking=False)
+                if self._arrivals.value() == 0:
+                    self._gate2.release(self.parties)
+            finally:
+                self._mutex.release()
+            return self._gate2.acquire(timeout=self._remaining(deadline))
 
     def close(self) -> None:
         self._arrivals.close()
         self._gate.close()
+        self._gate2.close()
         self._mutex.close()
 
 

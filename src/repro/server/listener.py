@@ -22,6 +22,7 @@ import selectors
 import threading
 from typing import Callable, Dict, List, Optional
 
+from ..testkit import faults
 from ..util.errors import FramingError, ProtocolError
 from ..util.ringlog import debug_event
 from . import protocol
@@ -158,8 +159,16 @@ class Listener:
 
     def _handle_readable(self, conn: Connection) -> None:
         try:
-            data = conn.sock.recv(65536)
+            budget = faults.io_fault("server.listener.recv", 65536)
+            data = conn.sock.recv(budget)
         except BlockingIOError:
+            return
+        except InterruptedError:
+            # EINTR is not a dead peer: the descriptor is still readable,
+            # so the selector will hand the connection straight back on
+            # the next loop tick.  (Must precede the OSError arm —
+            # InterruptedError *is* an OSError, and dropping a live
+            # client on a stray signal severs the whole debug session.)
             return
         except OSError:
             self._drop(conn)

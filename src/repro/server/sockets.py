@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Optional
 
+from ..testkit import faults
 from ..util.errors import ProtocolError
 from ..util.framing import FrameDecoder, encode_frame
 from ..util.ringlog import debug_event
@@ -64,6 +66,10 @@ class Connection:
             if self._closed:
                 return False
             try:
+                # Injection point server.conn.send: a raised OSError here
+                # is "the peer vanished mid-send" — the connection must be
+                # marked dead, never propagate into a trace callback.
+                faults.maybe_fault("server.conn.send")
                 self.sock.sendall(frame)
                 return True
             except OSError:
@@ -113,6 +119,7 @@ class ListenEndpoint:
         return self.sock.fileno()
 
     def accept(self) -> Connection:
+        faults.maybe_fault("server.listener.accept")
         sock, address = self.sock.accept()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return Connection(sock, address)
@@ -133,17 +140,48 @@ class ListenEndpoint:
 
 def connect_endpoint(host: str, port: int, role: str, pid: int,
                      session_token: str, timeout: float = 5.0,
-                     program: Optional[str] = None) -> socket.socket:
+                     program: Optional[str] = None,
+                     refused_grace: float = 0.1) -> socket.socket:
     """Client side: dial the server and send the role hello.
 
     Returns the connected socket; the caller reads the hello_ack.
+
+    A refused connect is retried with exponential backoff, but only for
+    *refused_grace* seconds: a freshly forked child announces its port
+    the instant the socket is bound, so the client routinely races the
+    child's listener thread — a refusal inside that tiny window is a
+    retry, not a failure.  Past the grace window the port is genuinely
+    dead and the refusal propagates promptly (a watcher chewing through
+    stale port records must not stall on each one).  Injected EINTR
+    (point ``net.connect``) is retried until *timeout*.
     """
     if role not in protocol.VALID_ROLES:
         raise ProtocolError(f"invalid role {role!r}")
-    sock = socket.create_connection((host, port), timeout=timeout)
+    start = time.monotonic()
+    deadline = start + timeout
+    grace_end = start + min(refused_grace, timeout)
+    delay = 0.01
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ConnectionRefusedError(
+                f"could not connect to {host}:{port} within {timeout:.1f}s")
+        try:
+            faults.maybe_fault("net.connect")
+            sock = socket.create_connection((host, port),
+                                            timeout=remaining)
+            break
+        except InterruptedError:
+            continue
+        except (ConnectionRefusedError, ConnectionResetError):
+            if time.monotonic() + delay >= grace_end:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 0.05)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     hello = protocol.make_hello(role=role, pid=pid,
                                 session_token=session_token,
                                 program=program)
+    faults.maybe_fault("net.hello.send")
     sock.sendall(encode_frame(hello))
     return sock

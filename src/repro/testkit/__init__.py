@@ -1,0 +1,52 @@
+"""Fault-injection testkit and deterministic multi-process stress harness.
+
+Two halves:
+
+* :mod:`repro.testkit.faults` — named injection points wired into the
+  hot paths (pipe I/O, socket framing, semaphore acquire, the augmented
+  ``os.fork``), armed by tests with seeded deterministic schedules;
+* :mod:`repro.testkit.scenarios` — a runner that executes real
+  multi-process topologies under a wall-clock budget and sweeps the
+  process-level invariants (no leaked children, no orphaned port files,
+  no armed faults escaping).
+
+The stress tier in ``tests/stress/`` drives both; docs/GUIDE.md
+("Testing & fault injection") documents the point names and the seed
+model.
+"""
+
+from .faults import (
+    Fault,
+    FaultInjectionError,
+    FaultPlan,
+    FaultRegistry,
+    Schedule,
+    armed,
+    io_fault,
+    maybe_fault,
+    point_seed,
+    registry,
+)
+from .scenarios import (
+    DEFAULT_BUDGET,
+    ScenarioContext,
+    ScenarioResult,
+    ScenarioRunner,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "Fault",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultRegistry",
+    "ScenarioContext",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "Schedule",
+    "armed",
+    "io_fault",
+    "maybe_fault",
+    "point_seed",
+    "registry",
+]

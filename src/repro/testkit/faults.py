@@ -1,0 +1,436 @@
+"""Fault-injection registry: named injection points on the hot paths.
+
+The debugger's robustness claims (survive ``fork``, blocked reads, dying
+children) are only as good as the adversarial harness behind them.  This
+module is the injection side of that harness: production code calls
+:func:`io_fault` / :func:`maybe_fault` at *named injection points* — the
+pipe write loop, the socket frame reader, the augmented ``os.fork`` — and
+tests arm those points with :class:`Fault` actions driven by a seeded,
+fully deterministic :class:`Schedule`.
+
+Design constraints:
+
+* **Near-zero cost when disarmed.**  Every hook is on a hot path (every
+  queue ``put`` crosses ``mp.pipe.write``), so the disarmed fast path is
+  a single module-global dict emptiness check.
+* **Deterministic.**  A schedule decides from the point's *hit counter*
+  whether a given hit fires.  Seeded schedules draw from
+  ``random.Random(seed)``, so the same seed always yields the same fault
+  sequence — the property the stress tier asserts.
+* **Fork-transparent.**  The registry is ordinary process memory: a
+  forked child inherits the armed plan (hit counters included), which is
+  exactly what child-side injection (die mid-handshake, EINTR in the
+  worker loop) needs.
+
+Injection-point names are dotted strings owned by the instrumented
+module (``mp.pipe.write``, ``net.frame.recv``, ``fork.os_fork``...); the
+full list lives in docs/GUIDE.md, "Testing & fault injection".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import random
+import signal as _signal
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..util.errors import ReproError
+
+__all__ = [
+    "Fault", "FaultInjectionError", "FaultPlan", "FaultRegistry",
+    "Schedule", "armed", "fire", "io_fault", "maybe_fault", "registry",
+]
+
+
+class FaultInjectionError(ReproError):
+    """Misuse of the fault-injection API (not an *injected* fault)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault actions
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable failure.  Built via the class-method constructors.
+
+    ``kind`` is one of:
+
+    * ``raise``   — raise a fresh exception from ``make_exc``;
+    * ``eintr``   — raise :class:`InterruptedError` (EINTR);
+    * ``partial`` — clamp the current I/O operation to ``limit`` bytes
+      (only meaningful at :func:`io_fault` sites);
+    * ``delay``   — sleep ``seconds`` then proceed normally;
+    * ``exit``    — ``os._exit(code)`` the calling process (a child dying
+      at the worst possible moment);
+    * ``kill``    — send ``signum`` to the calling process.
+    """
+
+    kind: str
+    make_exc: Optional[Callable[[], BaseException]] = None
+    limit: int = 1
+    seconds: float = 0.0
+    code: int = 1
+    signum: int = int(_signal.SIGKILL)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def raises(cls, make_exc: Callable[[], BaseException]) -> "Fault":
+        return cls(kind="raise", make_exc=make_exc)
+
+    @classmethod
+    def os_error(cls, err: int, message: str = "injected") -> "Fault":
+        return cls.raises(lambda: OSError(err, message))
+
+    @classmethod
+    def eintr(cls) -> "Fault":
+        return cls(kind="eintr")
+
+    @classmethod
+    def partial(cls, limit: int = 1) -> "Fault":
+        if limit < 1:
+            raise FaultInjectionError("partial I/O limit must be >= 1")
+        return cls(kind="partial", limit=limit)
+
+    @classmethod
+    def delay(cls, seconds: float) -> "Fault":
+        return cls(kind="delay", seconds=seconds)
+
+    @classmethod
+    def exit(cls, code: int = 1) -> "Fault":
+        return cls(kind="exit", code=code)
+
+    @classmethod
+    def kill(cls, signum: int = int(_signal.SIGKILL)) -> "Fault":
+        return cls(kind="kill", signum=signum)
+
+    # -- application --------------------------------------------------------
+
+    def apply(self) -> None:
+        """Apply at a non-I/O site: raise, sleep, or kill the process."""
+        if self.kind == "raise":
+            raise self.make_exc()  # type: ignore[misc]
+        if self.kind == "eintr":
+            raise InterruptedError(errno.EINTR, "injected EINTR")
+        if self.kind == "delay":
+            time.sleep(self.seconds)
+            return
+        if self.kind == "exit":
+            os._exit(self.code)
+        if self.kind == "kill":
+            os.kill(os.getpid(), self.signum)
+            return
+        # "partial" degrades to a no-op away from an I/O site.
+
+    def apply_io(self, nbytes: int) -> int:
+        """Apply at an I/O site: raise, or return the clamped byte budget
+        the caller may move in this one syscall."""
+        if self.kind == "partial":
+            return max(1, min(nbytes, self.limit))
+        self.apply()
+        return nbytes
+
+
+# ---------------------------------------------------------------------------
+# Schedules: which hits fire
+
+
+class Schedule:
+    """Decides, from a point's 1-based hit index, whether that hit fires.
+
+    All deciders are pure functions of the hit index (seeded ones
+    pre-draw from a private :class:`random.Random`), so a schedule's
+    answer sequence is reproducible and safely shared across threads.
+    """
+
+    def __init__(self, decide: Callable[[int], bool],
+                 description: str = "custom"):
+        self._decide = decide
+        self.description = description
+
+    def fires(self, hit_index: int) -> bool:
+        return bool(self._decide(hit_index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Schedule {self.description}>"
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def always(cls, limit: Optional[int] = None) -> "Schedule":
+        if limit is None:
+            return cls(lambda i: True, "always")
+        return cls(lambda i: i <= limit, f"first {limit}")
+
+    @classmethod
+    def never(cls) -> "Schedule":
+        return cls(lambda i: False, "never")
+
+    @classmethod
+    def on_hits(cls, *indices: int) -> "Schedule":
+        chosen = frozenset(indices)
+        return cls(lambda i: i in chosen, f"hits {sorted(chosen)}")
+
+    @classmethod
+    def every(cls, k: int, limit: Optional[int] = None) -> "Schedule":
+        if k < 1:
+            raise FaultInjectionError("every-k period must be >= 1")
+
+        def decide(i: int, _k: int = k, _limit=limit) -> bool:
+            if _limit is not None and i > _limit * _k:
+                return False
+            return i % _k == 0
+
+        return cls(decide, f"every {k}")
+
+    @classmethod
+    def seeded(cls, seed: int, rate: float,
+               limit: Optional[int] = None) -> "Schedule":
+        """Bernoulli(rate) per hit, deterministic in *seed*.
+
+        Decisions are drawn lazily but cached by hit index, so the answer
+        for hit *i* is identical no matter how many times or in what
+        order hits are evaluated.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultInjectionError("rate must be within [0, 1]")
+        rng = random.Random(seed)
+        drawn: List[bool] = []
+        lock = threading.Lock()
+
+        def decide(i: int) -> bool:
+            with lock:
+                while len(drawn) < i:
+                    drawn.append(rng.random() < rate)
+                if limit is not None and sum(drawn[:i]) > limit:
+                    return False
+                return drawn[i - 1]
+
+        return cls(decide, f"seeded({seed}, rate={rate})")
+
+
+def point_seed(master_seed: int, point: str) -> int:
+    """Stable per-point sub-seed: same master seed + point name → same
+    schedule, independent of arming order (crc32 is version-stable,
+    unlike ``hash``)."""
+    return (master_seed ^ zlib.crc32(point.encode("utf-8"))) & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+@dataclass
+class _ArmedPoint:
+    fault: Fault
+    schedule: Schedule
+    hits: int = 0
+    fires: int = 0
+    #: hit indices that fired, for determinism assertions in tests.
+    fire_log: List[int] = field(default_factory=list)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class FaultRegistry:
+    """Thread-safe map of armed injection points.
+
+    Production code consults the module-level singleton through
+    :func:`fire` / :func:`io_fault` / :func:`maybe_fault`; tests arm and
+    disarm points, usually through the :func:`armed` context manager or a
+    :class:`FaultPlan`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._points: Dict[str, _ArmedPoint] = {}
+
+    # -- arming -------------------------------------------------------------
+
+    def arm(self, point: str, fault: Fault,
+            schedule: Optional[Schedule] = None) -> None:
+        if not point:
+            raise FaultInjectionError("injection point name is empty")
+        entry = _ArmedPoint(fault=fault,
+                            schedule=schedule or Schedule.always())
+        with self._lock:
+            if point in self._points:
+                raise FaultInjectionError(
+                    f"injection point {point!r} is already armed")
+            self._points[point] = entry
+
+    def disarm(self, point: str) -> None:
+        with self._lock:
+            self._points.pop(point, None)
+
+    def reset(self) -> None:
+        """Disarm everything (test teardown safety net)."""
+        with self._lock:
+            self._points.clear()
+
+    @property
+    def armed_points(self) -> List[str]:
+        with self._lock:
+            return sorted(self._points)
+
+    # -- the hot-path check -------------------------------------------------
+
+    def check(self, point: str) -> Optional[Fault]:
+        """Record a hit at *point*; return the fault if this hit fires."""
+        with self._lock:
+            entry = self._points.get(point)
+        if entry is None:
+            return None
+        with entry.lock:
+            entry.hits += 1
+            hit = entry.hits
+            if not entry.schedule.fires(hit):
+                return None
+            entry.fires += 1
+            entry.fire_log.append(hit)
+            return entry.fault
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self, point: str) -> Tuple[int, int]:
+        """(hits, fires) for *point*; (0, 0) if never armed."""
+        with self._lock:
+            entry = self._points.get(point)
+        if entry is None:
+            return (0, 0)
+        with entry.lock:
+            return (entry.hits, entry.fires)
+
+    def fire_log(self, point: str) -> List[int]:
+        with self._lock:
+            entry = self._points.get(point)
+        if entry is None:
+            return []
+        with entry.lock:
+            return list(entry.fire_log)
+
+
+_registry = FaultRegistry()
+
+
+def registry() -> FaultRegistry:
+    """The process-wide registry the production shims consult."""
+    return _registry
+
+
+# -- shim entry points (what instrumented modules call) ----------------------
+
+def fire(point: str) -> Optional[Fault]:
+    """Hot-path check: None when the point is disarmed (the common case)."""
+    if not _registry._points:  # noqa: SLF001 - deliberate fast path
+        return None
+    return _registry.check(point)
+
+
+def io_fault(point: str, nbytes: int) -> int:
+    """Check *point* at an I/O site.
+
+    Returns the byte budget for this one syscall (``nbytes`` when
+    disarmed, a clamped value under a ``partial`` fault) or raises the
+    injected error.  Call *inside* the retry loop's ``try`` so injected
+    ``EINTR`` exercises the same handler a real signal would.
+    """
+    fault = fire(point)
+    if fault is None:
+        return nbytes
+    return fault.apply_io(nbytes)
+
+
+def maybe_fault(point: str) -> None:
+    """Check *point* at a non-I/O site; raises/sleeps/kills when armed."""
+    fault = fire(point)
+    if fault is not None:
+        fault.apply()
+
+
+@contextlib.contextmanager
+def armed(point: str, fault: Fault, schedule: Optional[Schedule] = None):
+    """Arm one point for the duration of a ``with`` block."""
+    _registry.arm(point, fault, schedule)
+    try:
+        yield _registry
+    finally:
+        _registry.disarm(point)
+
+
+# ---------------------------------------------------------------------------
+# Plans: several points armed from one master seed
+
+
+class FaultPlan:
+    """A reproducible set of armed points derived from one master seed.
+
+    ``spec`` maps injection-point names to ``(fault, rate)`` pairs (rate
+    in [0, 1]) or to explicit ``(fault, Schedule)`` pairs.  Each rated
+    point gets its own :meth:`Schedule.seeded` keyed by
+    :func:`point_seed`, so plans with the same seed inject the same
+    fault sequence regardless of arming order.
+    """
+
+    def __init__(self, seed: int,
+                 spec: Dict[str, Tuple[Fault, object]],
+                 reg: Optional[FaultRegistry] = None):
+        self.seed = seed
+        self.registry = reg or _registry
+        self._entries: List[Tuple[str, Fault, Schedule]] = []
+        for point, (fault, how) in sorted(spec.items()):
+            if isinstance(how, Schedule):
+                schedule = how
+            else:
+                schedule = Schedule.seeded(point_seed(seed, point),
+                                           rate=float(how))
+            self._entries.append((point, fault, schedule))
+        self._armed = False
+        self._final_stats: Dict[str, Tuple[int, int]] = {}
+        self._final_logs: Dict[str, List[int]] = {}
+
+    @property
+    def points(self) -> List[str]:
+        return [point for point, _, _ in self._entries]
+
+    def __enter__(self) -> "FaultPlan":
+        if self._armed:
+            raise FaultInjectionError("plan already armed")
+        armed_so_far: List[str] = []
+        try:
+            for point, fault, schedule in self._entries:
+                self.registry.arm(point, fault, schedule)
+                armed_so_far.append(point)
+        except BaseException:
+            for point in armed_so_far:
+                self.registry.disarm(point)
+            raise
+        self._armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Snapshot counters before disarming so post-run assertions can
+        # still see what fired.
+        self._final_stats = {p: self.registry.stats(p) for p in self.points}
+        self._final_logs = {p: self.registry.fire_log(p)
+                            for p in self.points}
+        for point, _, _ in self._entries:
+            self.registry.disarm(point)
+        self._armed = False
+
+    def stats(self) -> Dict[str, Tuple[int, int]]:
+        if not self._armed:
+            return dict(self._final_stats)
+        return {point: self.registry.stats(point) for point in self.points}
+
+    def fire_logs(self) -> Dict[str, List[int]]:
+        if not self._armed:
+            return dict(self._final_logs)
+        return {point: self.registry.fire_log(point)
+                for point in self.points}

@@ -1,0 +1,243 @@
+"""Deterministic multi-process stress scenarios and their runner.
+
+A *scenario* is a plain function ``body(ctx)`` that builds a real
+multi-process topology — fork chains, fan-out pools, client↔server
+debug sessions — usually under an armed :class:`~repro.testkit.faults.
+FaultPlan`.  The :class:`ScenarioRunner` executes it under a wall-clock
+budget and then sweeps the process-level invariants the paper's whole
+design hinges on:
+
+* **no leaked children** — every pid the scenario forked is reaped (and
+  anything still alive after the sweep is SIGKILLed and reported);
+* **no orphaned port files** — every rendezvous file the scenario
+  created is gone by the end;
+* **fork registry consistent** — the handler registry holds the same
+  labels after the run as before it (failed forks must unwind cleanly);
+* **no armed faults escape** — the global fault registry is clean.
+
+Scenarios record soft facts in ``ctx.details`` (participating pids,
+fault stats, message counts); the runner records hard *violations*.  A
+scenario passes iff the violation list is empty.
+
+Every scenario takes its randomness from ``ctx.rng`` (seeded) and its
+fault schedules from :func:`~repro.testkit.faults.point_seed`, so one
+seed pins the entire run — the stress tier replays a scenario twice and
+asserts the injected fault sequence is byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..util.portfile import PortFile, default_portfile_path
+from . import faults
+
+#: Default wall-clock budget per scenario (the acceptance bar is 60 s;
+#: leave headroom so a pass here is a comfortable pass there).
+DEFAULT_BUDGET = 45.0
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one seeded scenario run."""
+
+    name: str
+    seed: int
+    duration: float = 0.0
+    violations: List[str] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.ok else f"VIOLATIONS={self.violations}"
+        return (f"<ScenarioResult {self.name} seed={self.seed} "
+                f"{self.duration:.2f}s {state}>")
+
+
+class ScenarioContext:
+    """Hands a scenario its seeded RNG plus tracked process/file helpers.
+
+    Everything a scenario creates through the context is swept by the
+    runner afterwards, which is what turns "the test passed" into "the
+    test passed *and cleaned up after a fault fired mid-run*".
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.details: Dict[str, Any] = {}
+        self._children: List[int] = []
+        self._portfiles: List[str] = []
+        self._cleanups: List[Callable[[], None]] = []
+        self._lock = threading.Lock()
+
+    # -- child processes ----------------------------------------------------
+
+    def fork(self, child_body: Callable[[], Optional[int]]) -> int:
+        """Fork; the child runs *child_body* and ``os._exit``\\ s with its
+        return value (``None`` → 0, uncaught exception → 70).  Returns the
+        child pid in the parent and tracks it for the leak sweep."""
+        pid = os.fork()
+        if pid == 0:
+            code = 70
+            try:
+                code = child_body() or 0
+            except BaseException:  # noqa: BLE001 - child must report and die
+                traceback.print_exc()
+            finally:
+                os._exit(code)
+        self.track_child(pid)
+        return pid
+
+    def track_child(self, pid: int) -> None:
+        with self._lock:
+            self._children.append(pid)
+
+    @property
+    def children(self) -> List[int]:
+        with self._lock:
+            return list(self._children)
+
+    def wait_child(self, pid: int, timeout: float = 10.0) -> Optional[int]:
+        """Reap one child; returns its exit code or None on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                done, status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return None  # reaped elsewhere
+            if done == pid:
+                with self._lock:
+                    if pid in self._children:
+                        self._children.remove(pid)
+                return os.waitstatus_to_exitcode(status)
+            time.sleep(0.005)
+        return None
+
+    # -- port files ---------------------------------------------------------
+
+    def portfile(self) -> PortFile:
+        """A tracked rendezvous file; must be gone by scenario end."""
+        path = default_portfile_path(
+            f"stress-{os.getpid()}-{self.rng.randrange(1 << 30):08x}")
+        with self._lock:
+            self._portfiles.append(path)
+        return PortFile(path)
+
+    @property
+    def portfile_paths(self) -> List[str]:
+        with self._lock:
+            return list(self._portfiles)
+
+    # -- arbitrary teardown -------------------------------------------------
+
+    def defer(self, cleanup: Callable[[], None]) -> None:
+        """Run *cleanup* during the runner's sweep (LIFO), fault-proof."""
+        with self._lock:
+            self._cleanups.append(cleanup)
+
+    def run_cleanups(self) -> List[str]:
+        problems = []
+        with self._lock:
+            cleanups, self._cleanups = list(self._cleanups), []
+        for cleanup in reversed(cleanups):
+            try:
+                cleanup()
+            except BaseException as exc:  # noqa: BLE001
+                problems.append(f"cleanup {cleanup!r} raised {exc!r}")
+        return problems
+
+
+class ScenarioRunner:
+    """Runs one scenario body under a budget, then sweeps invariants."""
+
+    def __init__(self, budget: float = DEFAULT_BUDGET):
+        self.budget = budget
+
+    def run(self, name: str, body: Callable[[ScenarioContext], None],
+            seed: int, budget: Optional[float] = None) -> ScenarioResult:
+        budget = budget or self.budget
+        ctx = ScenarioContext(seed)
+        result = ScenarioResult(name=name, seed=seed)
+        start = time.monotonic()
+        failure: List[BaseException] = []
+
+        def _invoke() -> None:
+            try:
+                body(ctx)
+            except BaseException as exc:  # noqa: BLE001 - recorded below
+                failure.append(exc)
+
+        # The body runs in a worker thread so a wedged scenario cannot
+        # wedge the whole tier: the runner regains control at the budget
+        # and still sweeps/kills whatever the body leaked.
+        worker = threading.Thread(target=_invoke,
+                                  name=f"scenario-{name}", daemon=True)
+        worker.start()
+        worker.join(budget)
+        if worker.is_alive():
+            result.violations.append(
+                f"budget exceeded: still running after {budget:.0f}s")
+        if failure:
+            result.violations.append(
+                f"scenario body raised {type(failure[0]).__name__}: "
+                f"{failure[0]}")
+
+        self._sweep(ctx, result)
+        result.duration = time.monotonic() - start
+        result.details.update(ctx.details)
+        return result
+
+    # -- invariant sweep ----------------------------------------------------
+
+    def _sweep(self, ctx: ScenarioContext, result: ScenarioResult) -> None:
+        result.violations.extend(ctx.run_cleanups())
+
+        # 1. No leaked children.
+        leaked = []
+        for pid in ctx.children:
+            code = ctx.wait_child(pid, timeout=5.0)
+            if code is None and _pid_alive(pid):
+                leaked.append(pid)
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                ctx.wait_child(pid, timeout=2.0)
+        if leaked:
+            result.violations.append(f"leaked children killed: {leaked}")
+
+        # 2. No orphaned port files.
+        orphaned = [p for p in ctx.portfile_paths if os.path.exists(p)]
+        for path in orphaned:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if orphaned:
+            result.violations.append(f"orphaned port files: {orphaned}")
+
+        # 3. No armed faults escape into later tests.
+        still_armed = faults.registry().armed_points
+        if still_armed:
+            faults.registry().reset()
+            result.violations.append(
+                f"fault points left armed: {still_armed}")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True

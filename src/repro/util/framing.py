@@ -31,6 +31,12 @@ from typing import Any, Iterator, Optional
 
 from .errors import FramingError
 
+
+def _io_fault(point: str, nbytes: int) -> int:
+    """Fault-injection hook (late import: testkit sits above util)."""
+    from ..testkit import faults
+    return faults.io_fault(point, nbytes)
+
 HEADER = struct.Struct(">I")
 #: Refuse frames above this size: a corrupted length prefix must not make
 #: the listener allocate gigabytes.
@@ -94,15 +100,40 @@ class FrameDecoder:
 
 
 def send_frame(sock, message: Any) -> None:
-    """Blocking send of one framed message over *sock*."""
-    sock.sendall(encode_frame(message))
+    """Blocking send of one framed message over *sock*.
+
+    Sent as an explicit short-write loop rather than ``sendall`` so the
+    injection point ``net.frame.send`` can split one frame across many
+    TCP segments (partial frame delivery) or raise EINTR inside the
+    loop; the peer's :class:`FrameDecoder`/:func:`_recv_exact` must
+    reassemble regardless of where the cuts land.
+    """
+    view = memoryview(encode_frame(message))
+    while view:
+        try:
+            budget = _io_fault("net.frame.send", len(view))
+            sent = sock.send(view[:budget])
+        except InterruptedError:
+            continue
+        if sent == 0:
+            raise FramingError("connection closed mid-send")
+        view = view[sent:]
 
 
 def _recv_exact(sock, n: int) -> Optional[bytes]:
-    """Read exactly *n* bytes, or None on clean EOF at a frame boundary."""
+    """Read exactly *n* bytes, or None on clean EOF at a frame boundary.
+
+    Injection point ``net.frame.recv``: clamps the per-call byte budget
+    (forcing reassembly of frames delivered one byte at a time) or
+    raises EINTR, which is retried here explicitly.
+    """
     chunks = bytearray()
     while len(chunks) < n:
-        chunk = sock.recv(n - len(chunks))
+        try:
+            budget = _io_fault("net.frame.recv", n - len(chunks))
+            chunk = sock.recv(budget)
+        except InterruptedError:
+            continue
         if not chunk:
             if not chunks:
                 return None

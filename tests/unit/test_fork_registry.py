@@ -5,6 +5,9 @@ reverse registration order, parent/child in registration order
 (paper section 5.2 relies on composing with foreign handlers).
 """
 
+import errno
+import threading
+
 import pytest
 
 from repro.forkhooks.registry import (
@@ -12,7 +15,9 @@ from repro.forkhooks.registry import (
     HandlerSet,
     run_around_fork,
 )
-from repro.util.errors import ForkHookError
+from repro.forkhooks.syncobjects import SyncObjectRegistry, manage_lock
+from repro.testkit.faults import Fault, Schedule, armed, registry as faults
+from repro.util.errors import ForkHookError, SyncObjectError
 
 
 @pytest.fixture
@@ -177,3 +182,115 @@ class TestRunAroundFork:
         with pytest.raises(OSError):
             run_around_fork(registry, failing_fork)
         assert calls == ["A", "B"]
+
+
+class TestInjectedFailures:
+    """Error paths driven through the testkit's fault points.
+
+    These pin the contract the stress tier leans on: a fork that fails at
+    the worst moment (between prepare and fork(2)) must leave the handler
+    registry, and any sync-object sweep it brackets, exactly as found.
+    """
+
+    @pytest.fixture(autouse=True)
+    def clean_faults(self):
+        faults().reset()
+        yield
+        faults().reset()
+
+    def test_injected_fork_failure_unwinds_prepare(self, registry):
+        calls = []
+        registry.register("h", prepare=lambda: calls.append("prep"),
+                          parent=lambda: calls.append("par"),
+                          child=lambda: calls.append("chi"))
+        with armed("fork.os_fork", Fault.os_error(errno.EAGAIN)):
+            with pytest.raises(OSError) as exc_info:
+                run_around_fork(registry, lambda: 1234)
+        assert exc_info.value.errno == errno.EAGAIN
+        # prepare ran, the injected failure aborted the fork, and the
+        # parent phase (prepare's undo) ran — never the child phase.
+        assert calls == ["prep", "par"]
+        assert registry.labels == ["h"]
+        assert registry.failures == []
+
+    def test_injected_eintr_at_fork_point_propagates(self, registry):
+        calls = []
+        registry.register("h", prepare=lambda: calls.append("prep"),
+                          parent=lambda: calls.append("par"))
+        with armed("fork.os_fork", Fault.eintr()):
+            with pytest.raises(InterruptedError):
+                run_around_fork(registry, lambda: 1234)
+        assert calls == ["prep", "par"]
+
+    def test_scheduled_fork_failures_recover(self, registry):
+        """Fail forks 1 and 3 of 4; the survivors must be untouched."""
+        depth = {"n": 0}
+
+        def prep():
+            depth["n"] += 1
+
+        def par():
+            depth["n"] -= 1
+
+        registry.register("balance", prepare=prep, parent=par)
+        outcomes = []
+        with armed("fork.os_fork", Fault.os_error(errno.EAGAIN),
+                   Schedule.on_hits(1, 3)):
+            for _ in range(4):
+                try:
+                    pid, is_child = run_around_fork(registry, lambda: 4321)
+                    outcomes.append(pid)
+                except OSError:
+                    outcomes.append("failed")
+                # Whatever happened, prepare must be fully undone.
+                assert depth["n"] == 0
+            assert faults().stats("fork.os_fork") == (4, 2)
+        assert outcomes == ["failed", 4321, "failed", 4321]
+
+    def test_prepare_fault_leaves_sync_sweep_unapplied(self, registry):
+        """A prepare handler raising (here: via an injected fault) after
+        the sync-object sweep acquired everything must see the sweep
+        fully released — not half-applied."""
+        sync = SyncObjectRegistry(acquire_timeout=1.0)
+        lock_a, lock_b = threading.Lock(), threading.Lock()
+        manage_lock(sync, lock_a, name="a")
+        manage_lock(sync, lock_b, name="b")
+
+        def faulty_prepare():
+            from repro.testkit.faults import maybe_fault
+            maybe_fault("test.prepare")
+
+        # Registration order matters: prepare runs in REVERSE order, so
+        # the sweep (registered last) prepares first, then the faulty
+        # handler fires and must trigger the sweep's parent-side release.
+        registry.register("faulty", prepare=faulty_prepare)
+        registry.register("sweep",
+                          prepare=lambda: sync.take_ownership(),
+                          parent=lambda: sync.release_ownership(),
+                          child=lambda: sync.reinit_after_fork())
+        with armed("test.prepare", Fault.os_error(errno.EIO)):
+            with pytest.raises(ForkHookError):
+                registry.run_prepare()
+        assert not sync.holding
+        assert not lock_a.locked() and not lock_b.locked()
+        # The registry itself is intact and a clean retry succeeds.
+        assert registry.labels == ["faulty", "sweep"]
+        registry.run_prepare()
+        assert sync.holding and lock_a.locked() and lock_b.locked()
+        registry.run_parent()
+        assert not sync.holding
+
+    def test_sweep_acquire_fault_unwinds_partial_acquisition(self):
+        """If acquiring sync object k fails, objects 1..k-1 are released
+        before the error propagates (take_ownership's own unwind)."""
+        sync = SyncObjectRegistry(acquire_timeout=0.1)
+        lock_a = threading.Lock()
+        manage_lock(sync, lock_a, name="a")
+        lock_b = threading.Lock()
+        lock_b.acquire()  # a foreign holder: acquisition will time out
+        manage_lock(sync, lock_b, name="b")
+        with pytest.raises(SyncObjectError):
+            sync.take_ownership()
+        assert not lock_a.locked()
+        assert not sync.holding
+        lock_b.release()

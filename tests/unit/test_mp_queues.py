@@ -197,6 +197,81 @@ class TestAcrossProcesses:
         tasks.close()
         results.close()
 
+    def test_just_forked_siblings_are_not_starved(self):
+        """Regression: the items semaphore must be *fair* to newborns.
+
+        Without the post-fork fairness window an already-hot consumer
+        drains the pipe before just-forked siblings get scheduled, and
+        "N children share one queue" silently degenerates to one child
+        doing everything.  Repeat the topology a few times so a lost
+        race cannot hide behind one lucky run.
+        """
+        for _ in range(3):
+            tasks = Queue()
+            results = Queue()
+            pids = []
+            for _ in range(3):
+                pid = os.fork()
+                if pid == 0:
+                    while True:
+                        task = tasks.get(timeout=5.0)
+                        if task is None:
+                            os._exit(0)
+                        results.put(os.getpid())
+                pids.append(pid)
+            for i in range(30):
+                tasks.put(i)
+            consumers = {results.get(timeout=5.0) for _ in range(30)}
+            for _ in pids:
+                tasks.put(None)
+            for pid in pids:
+                os.waitpid(pid, 0)
+            assert len(consumers) >= 2, \
+                f"one consumer starved its siblings: {consumers}"
+            tasks.close()
+            results.close()
+
+
+class TestInjectedPipeFaults:
+    """The queue survives EINTR and short I/O on its pipe (testkit)."""
+
+    @pytest.fixture(autouse=True)
+    def clean_faults(self):
+        from repro.testkit.faults import registry
+        registry().reset()
+        yield
+        registry().reset()
+
+    def test_put_get_survive_injected_eintr(self):
+        from repro.testkit.faults import Fault, Schedule, armed
+        q = Queue()
+        payload = list(range(50))
+        with armed("mp.pipe.write", Fault.eintr(),
+                   Schedule.every(3)):
+            for item in payload:
+                q.put(item)
+        with armed("mp.pipe.read", Fault.eintr(),
+                   Schedule.every(2)):
+            assert [q.get(timeout=5.0) for _ in payload] == payload
+        q.close()
+
+    def test_round_trip_survives_short_writes(self):
+        from repro.testkit.faults import Fault, armed
+        q = Queue()
+        blob = {"data": "x" * 2000, "n": 7}
+        with armed("mp.pipe.write", Fault.partial(13)):
+            q.put(blob)
+        assert q.get(timeout=5.0) == blob
+        q.close()
+
+    def test_sem_acquire_survives_injected_eintr(self):
+        from repro.testkit.faults import Fault, Schedule, armed
+        q = Queue()
+        q.put("token")
+        with armed("mp.sem.acquire", Fault.eintr(), Schedule.on_hits(1)):
+            assert q.get(timeout=5.0) == "token"
+        q.close()
+
 
 class TestThreadQueue:
     def test_basic_fifo(self):

@@ -1,0 +1,237 @@
+"""Unit tests: fault-injection registry and schedules (repro.testkit.faults).
+
+The stress tier's determinism guarantee rests on three properties tested
+here: seeded schedules are pure functions of the hit index, per-point
+sub-seeds are stable, and plans snapshot their counters on disarm.
+"""
+
+import errno
+
+import pytest
+
+from repro.testkit.faults import (
+    Fault,
+    FaultInjectionError,
+    FaultPlan,
+    FaultRegistry,
+    Schedule,
+    armed,
+    fire,
+    io_fault,
+    maybe_fault,
+    point_seed,
+    registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """No armed point may leak into (or out of) any test."""
+    registry().reset()
+    yield
+    registry().reset()
+
+
+class TestSchedules:
+    def test_always_and_limit(self):
+        s = Schedule.always()
+        assert all(s.fires(i) for i in (1, 2, 100))
+        s3 = Schedule.always(limit=3)
+        assert [s3.fires(i) for i in range(1, 6)] == [
+            True, True, True, False, False]
+
+    def test_never(self):
+        s = Schedule.never()
+        assert not any(s.fires(i) for i in range(1, 50))
+
+    def test_on_hits(self):
+        s = Schedule.on_hits(2, 5)
+        assert [s.fires(i) for i in range(1, 7)] == [
+            False, True, False, False, True, False]
+
+    def test_every_k(self):
+        s = Schedule.every(3)
+        assert [s.fires(i) for i in range(1, 8)] == [
+            False, False, True, False, False, True, False]
+
+    def test_every_k_with_limit(self):
+        s = Schedule.every(2, limit=2)  # fires on hits 2 and 4, then stops
+        fired = [i for i in range(1, 20) if s.fires(i)]
+        assert fired == [2, 4]
+
+    def test_every_zero_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Schedule.every(0)
+
+    def test_seeded_is_deterministic(self):
+        a = Schedule.seeded(1234, rate=0.3)
+        b = Schedule.seeded(1234, rate=0.3)
+        assert [a.fires(i) for i in range(1, 201)] == \
+               [b.fires(i) for i in range(1, 201)]
+
+    def test_seeded_order_independent(self):
+        """The answer for hit i must not depend on evaluation order."""
+        forward = Schedule.seeded(77, rate=0.5)
+        shuffled = Schedule.seeded(77, rate=0.5)
+        in_order = [forward.fires(i) for i in range(1, 51)]
+        # Evaluate the second schedule backwards, then re-ask forwards.
+        backwards = [shuffled.fires(i) for i in range(50, 0, -1)][::-1]
+        assert in_order == backwards
+        assert in_order == [shuffled.fires(i) for i in range(1, 51)]
+
+    def test_seeded_respects_limit(self):
+        s = Schedule.seeded(9, rate=1.0, limit=4)
+        fired = [i for i in range(1, 100) if s.fires(i)]
+        assert fired == [1, 2, 3, 4]
+
+    def test_seeded_rate_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            Schedule.seeded(1, rate=1.5)
+
+    def test_point_seed_stable_and_distinct(self):
+        assert point_seed(42, "mp.pipe.write") == point_seed(
+            42, "mp.pipe.write")
+        assert point_seed(42, "mp.pipe.write") != point_seed(
+            42, "mp.pipe.read")
+        assert point_seed(42, "x") != point_seed(43, "x")
+
+
+class TestFaults:
+    def test_os_error(self):
+        with pytest.raises(OSError) as exc_info:
+            Fault.os_error(errno.EAGAIN, "no forks left").apply()
+        assert exc_info.value.errno == errno.EAGAIN
+
+    def test_eintr_is_interrupted_error(self):
+        with pytest.raises(InterruptedError):
+            Fault.eintr().apply()
+
+    def test_partial_clamps_io_budget(self):
+        f = Fault.partial(3)
+        assert f.apply_io(10) == 3
+        assert f.apply_io(2) == 2
+        assert f.apply_io(0) == 1  # never starves the syscall entirely
+
+    def test_partial_rejects_zero_limit(self):
+        with pytest.raises(FaultInjectionError):
+            Fault.partial(0)
+
+    def test_partial_is_noop_at_non_io_site(self):
+        Fault.partial(1).apply()  # must not raise
+
+    def test_delay_proceeds(self):
+        Fault.delay(0.0).apply()  # must not raise
+
+
+class TestRegistry:
+    def test_arm_check_fires(self):
+        reg = FaultRegistry()
+        reg.arm("p", Fault.eintr(), Schedule.on_hits(2))
+        assert reg.check("p") is None       # hit 1
+        assert reg.check("p") is not None   # hit 2 fires
+        assert reg.check("p") is None       # hit 3
+        assert reg.stats("p") == (3, 1)
+        assert reg.fire_log("p") == [2]
+
+    def test_double_arm_rejected(self):
+        reg = FaultRegistry()
+        reg.arm("p", Fault.eintr())
+        with pytest.raises(FaultInjectionError):
+            reg.arm("p", Fault.eintr())
+
+    def test_empty_point_name_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRegistry().arm("", Fault.eintr())
+
+    def test_disarm_and_reset(self):
+        reg = FaultRegistry()
+        reg.arm("a", Fault.eintr())
+        reg.arm("b", Fault.eintr())
+        reg.disarm("a")
+        assert reg.armed_points == ["b"]
+        reg.reset()
+        assert reg.armed_points == []
+
+    def test_stats_for_unknown_point(self):
+        reg = FaultRegistry()
+        assert reg.stats("ghost") == (0, 0)
+        assert reg.fire_log("ghost") == []
+
+    def test_fire_fast_path_disarmed(self):
+        assert fire("anything") is None
+
+    def test_io_fault_passthrough_when_disarmed(self):
+        assert io_fault("anything", 4096) == 4096
+
+
+class TestShimEntryPoints:
+    def test_maybe_fault_raises_when_armed(self):
+        with armed("unit.point", Fault.os_error(errno.EIO)):
+            with pytest.raises(OSError):
+                maybe_fault("unit.point")
+        maybe_fault("unit.point")  # disarmed again: no-op
+
+    def test_io_fault_partial_budget(self):
+        with armed("unit.io", Fault.partial(5)):
+            assert io_fault("unit.io", 100) == 5
+
+    def test_armed_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with armed("unit.exc", Fault.eintr()):
+                raise RuntimeError("boom")
+        assert "unit.exc" not in registry().armed_points
+
+
+class TestFaultPlan:
+    def test_same_seed_same_sequence(self):
+        spec = {"a.point": (Fault.eintr(), 0.5),
+                "b.point": (Fault.eintr(), 0.5)}
+
+        def drive(plan):
+            fired = []
+            with plan:
+                for i in range(100):
+                    point = "a.point" if i % 2 == 0 else "b.point"
+                    try:
+                        maybe_fault(point)
+                        fired.append(False)
+                    except InterruptedError:
+                        fired.append(True)
+            return fired, plan.fire_logs()
+
+        run1 = drive(FaultPlan(31337, spec))
+        run2 = drive(FaultPlan(31337, spec))
+        assert run1 == run2
+        assert any(run1[0]), "rate=0.5 over 100 hits must fire sometimes"
+
+    def test_explicit_schedule_in_spec(self):
+        plan = FaultPlan(1, {"p": (Fault.eintr(), Schedule.on_hits(1))})
+        with plan:
+            with pytest.raises(InterruptedError):
+                maybe_fault("p")
+            maybe_fault("p")
+        assert plan.stats()["p"] == (2, 1)
+        assert plan.fire_logs()["p"] == [1]
+
+    def test_stats_survive_disarm(self):
+        plan = FaultPlan(5, {"p": (Fault.eintr(), Schedule.never())})
+        with plan:
+            maybe_fault("p")
+            maybe_fault("p")
+        assert "p" not in registry().armed_points
+        assert plan.stats()["p"] == (2, 0)
+
+    def test_arming_conflict_unwinds_cleanly(self):
+        registry().arm("b", Fault.eintr())
+        plan = FaultPlan(1, {"a": (Fault.eintr(), 0.1),
+                             "b": (Fault.eintr(), 0.1)})
+        with pytest.raises(FaultInjectionError):
+            plan.__enter__()
+        # The plan's own points must not be left half-armed.
+        assert registry().armed_points == ["b"]
+
+    def test_reenter_rejected(self):
+        plan = FaultPlan(1, {"p": (Fault.eintr(), 0.0)})
+        with plan:
+            with pytest.raises(FaultInjectionError):
+                plan.__enter__()
