@@ -13,13 +13,19 @@ PYTHON      ?= python
 PYTHONPATH  := src
 TIER1_LIMIT ?= 900
 STRESS_LIMIT ?= 600
+# Per-test cap (seconds), enforced inside pytest (pytest-timeout when
+# installed, SIGALRM fallback otherwise) so a single wedged test fails
+# with its name attached instead of burning the whole job limit.
+TEST_TIMEOUT ?= 120
 
 .PHONY: test stress check
 
 test:
-	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x
+	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		DIONEA_TEST_TIMEOUT=$(TEST_TIMEOUT) $(PYTHON) -m pytest -x
 
 stress:
-	timeout $(STRESS_LIMIT) env PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/stress -m stress
+	timeout $(STRESS_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		DIONEA_TEST_TIMEOUT=$(TEST_TIMEOUT) $(PYTHON) -m pytest tests/stress -m stress
 
 check: test stress

@@ -35,16 +35,21 @@ class DebugClient:
     def __init__(self,
                  on_stop: Optional[Callable[[DebugView], None]] = None,
                  on_new_session: Optional[
-                     Callable[[DebugSession], None]] = None):
+                     Callable[[DebugSession], None]] = None,
+                 on_session_lost: Optional[
+                     Callable[[DebugSession, str], None]] = None):
         self._sessions: Dict[int, DebugSession] = {}
         self._views: Dict[UEId, DebugView] = {}
         self._lock = threading.RLock()
+        #: signalled whenever a session is added (attach/auto-attach)
+        self._session_signal = threading.Condition(self._lock)
         self._session_ids = IdAllocator("s")
         self._view_ids = IdAllocator("v")
         self._watcher: Optional[PortFileWatcher] = None
         self._active_view: Optional[DebugView] = None
         self.on_stop = on_stop
         self.on_new_session = on_new_session
+        self.on_session_lost = on_session_lost
         #: stop notifications in arrival order (handy for tests/tools)
         self.stop_history: List[DebugView] = []
         self._stop_signal = threading.Condition()
@@ -67,6 +72,12 @@ class DebugClient:
                 raise SessionError(
                     f"already attached to pid {session.pid}")
             self._sessions[session.pid] = session
+            # A successor session for a known pid (reattach after loss):
+            # existing views swap transports, keeping their stop state.
+            for ue, view in self._views.items():
+                if ue.pid == session.pid:
+                    view.rebind(session)
+            self._session_signal.notify_all()
         self.process_tree.observe(pid=session.pid,
                                   parent_pid=session.parent_pid,
                                   program=session.program)
@@ -80,13 +91,21 @@ class DebugClient:
         return session
 
     def watch_portfile(self, portfile: PortFile,
-                       poll_interval: float = 0.02) -> None:
-        """Auto-attach every server announced in the rendezvous file."""
+                       poll_interval: float = 0.02,
+                       gc_interval: float = 5.0) -> None:
+        """Auto-attach every server announced in the rendezvous file.
+
+        The watcher is liveness-checked: a record whose pid is already
+        dead is never dialed (each dial would eat a connect timeout),
+        and dead records are reaped from the file every *gc_interval*
+        seconds so a long debug run's rendezvous file doesn't accrete
+        corpses.  Pass ``gc_interval=0`` to keep every record forever.
+        """
         if self._watcher is not None:
             raise SessionError("already watching a port file")
         self._watcher = PortFileWatcher(
             portfile=portfile, on_record=self._on_port_record,
-            poll_interval=poll_interval)
+            poll_interval=poll_interval, gc_interval=gc_interval)
         self._watcher.start()
 
     def _on_port_record(self, record: PortRecord) -> None:
@@ -130,26 +149,103 @@ class DebugClient:
 
     def session_for_pid(self, pid: int,
                         timeout: float = 5.0) -> DebugSession:
-        """Get the session for *pid*, waiting for auto-attach if needed."""
+        """Get the session for *pid*, waiting for auto-attach if needed.
+
+        Blocks on a condition signalled by :meth:`attach` — no polling;
+        the waiter wakes the moment the watcher's dial completes.
+        """
         import time
         deadline = time.monotonic() + timeout
-        while True:
-            with self._lock:
+        with self._session_signal:
+            while True:
                 session = self._sessions.get(pid)
-            if session is not None and not session.closed:
-                return session
-            if time.monotonic() >= deadline:
-                raise SessionError(f"no session for pid {pid}")
-            time.sleep(0.01)
+                if session is not None and not session.closed:
+                    return session
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise SessionError(f"no session for pid {pid}")
+                self._session_signal.wait(remaining)
 
-    def view_for(self, ue: UEId) -> DebugView:
+    def reattach(self, pid: int, host: Optional[str] = None,
+                 port: Optional[int] = None, resync: bool = True,
+                 **session_kwargs) -> DebugSession:
+        """Reclaim a lost session to a still-running debug server.
+
+        Dials the old coordinates (or the ones given), presenting the
+        token the original hello_ack granted so the server can tell this
+        rightful successor from a stale client of a previous epoch.  On
+        success the server cancels its client-loss grace timer — parked
+        UEs stay parked — and replays every live stop; existing views are
+        rebound to the new transport.  With *resync*, breakpoints the old
+        session had set but the server no longer has are re-sent.
+        """
+        with self._lock:
+            old = self._sessions.get(pid)
+        if old is None:
+            raise SessionError(f"never attached to pid {pid}; "
+                               f"use attach()")
+        if not old.closed:
+            return old
+        session = self.attach(host or old.host, port or old.port,
+                              resume_token=old.session_token,
+                              **session_kwargs)
+        if resync:
+            self._resync_breakpoints(session, old)
+        debug_event("client", f"reattached to pid {pid} "
+                              f"(resumed={session.resumed})")
+        return session
+
+    def _resync_breakpoints(self, session: DebugSession,
+                            old: DebugSession) -> None:
+        """Re-send the old session's breakpoint intent, minus survivors."""
+        from ..tracing.breakpoints import canonical_file
+        specs = old.breakpoint_specs()
+        if not specs:
+            return
+        try:
+            table = session.request("breaks")
+        except ReproError:
+            table = []
+        have = set()
+        for bp in table or []:
+            if bp.get("function"):
+                have.add(("func", bp["function"], bp.get("condition")))
+            else:
+                have.add((bp.get("file"), bp.get("line"),
+                          bp.get("condition")))
+        for command, args in specs:
+            if command == "set_function_break":
+                key = ("func", args.get("function"), args.get("condition"))
+            else:
+                key = (canonical_file(str(args.get("file", ""))),
+                       args.get("line"), args.get("condition"))
+            if key in have:
+                continue
+            try:
+                session.request(command, args)
+            except ReproError as exc:
+                debug_event("client",
+                            f"breakpoint resync failed for {args}: {exc}")
+
+    def view_for(self, ue: UEId,
+                 session: Optional[DebugSession] = None) -> DebugView:
+        """The view for *ue*, created on first use.
+
+        *session* is the transport to bind a new view to when the
+        registry has no entry yet: a stop replayed at hello time races
+        the `attach()` bookkeeping (the reader thread starts before the
+        session is registered), and the event's own delivering session
+        is already the right one.
+        """
         with self._lock:
             view = self._views.get(ue)
             if view is None:
-                session = self._sessions.get(ue.pid)
-                if session is None or session.closed:
+                owner = self._sessions.get(ue.pid)
+                if owner is None or owner.closed:
+                    owner = session
+                if owner is None or owner.closed:
                     raise ViewError(f"no session for {ue}")
-                view = DebugView(self._view_ids.next(), session, ue)
+                view = DebugView(self._view_ids.next(), owner, ue)
                 self._views[ue] = view
             return view
 
@@ -179,7 +275,7 @@ class DebugClient:
         payload = message.get("payload", {})
         if event == protocol.EV_STOPPED:
             ue = protocol.ue_from_wire(payload["ue"])
-            view = self.view_for(ue)
+            view = self.view_for(ue, session=session)
             view.mark_stopped(StackCapture.from_wire(payload["capture"]))
             with self._stop_signal:
                 self.stop_history.append(view)
@@ -209,6 +305,20 @@ class DebugClient:
         elif event == protocol.EV_SERVER_EXIT:
             self.process_tree.mark_exited(session.pid)
             session.close()
+        elif event == protocol.EV_SESSION_LOST:
+            # Synthesised by the session's supervision layer (missed
+            # heartbeats / abrupt channel loss).  The debuggee may well
+            # be dead; reflect that in the whole-program view and hand
+            # the verdict to the embedder, who may try reattach().
+            self.process_tree.mark_exited(session.pid)
+            reason = payload.get("reason", "unknown")
+            debug_event("client",
+                        f"session to pid {session.pid} lost: {reason}")
+            if self.on_session_lost is not None:
+                try:
+                    self.on_session_lost(session, reason)
+                except Exception:  # noqa: BLE001 - user callback
+                    pass
 
     def wait_for_stop(self, timeout: float = 10.0,
                       min_count: int = 1) -> List[DebugView]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..server import protocol
@@ -25,7 +26,9 @@ from ..util.errors import (
     CommandError,
     FramingError,
     HandshakeError,
+    RequestTimeoutError,
     SessionError,
+    SessionLostError,
 )
 from ..util.framing import recv_frame, send_frame
 from ..util.ids import UEId
@@ -45,23 +48,40 @@ class DebugSession:
     def __init__(self, host: str, port: int, session_id: str,
                  on_event: Optional[Callable[["DebugSession", dict], None]] = None,
                  connect_timeout: float = 5.0,
-                 request_timeout: float = 10.0):
+                 request_timeout: float = 10.0,
+                 heartbeat_interval: float = 2.0,
+                 heartbeat_misses: int = 3,
+                 resume_token: Optional[str] = None):
         self.host = host
         self.port = port
         self.session_id = session_id
         self.request_timeout = request_timeout
+        #: ping cadence on the command channel; <= 0 disables the monitor
+        self.heartbeat_interval = heartbeat_interval
+        #: consecutive unanswered beats before the session is declared lost
+        self.heartbeat_misses = max(1, heartbeat_misses)
         self._on_event = on_event
         self._request_ids = itertools.count(1)
         self._pending: Dict[int, _PendingRequest] = {}
         self._pending_lock = threading.Lock()
         self._closed = threading.Event()
         self._source_lock = threading.Lock()
+        #: set (with a reason) when the supervision layer declared this
+        #: session dead, as opposed to an orderly local close
+        self.lost_reason: Optional[str] = None
+        self._server_exited = False
+        self._last_pong = time.monotonic()
+        #: client-side record of debugging intent, for reattach resync:
+        #: server breakpoint id -> (command, args) that created it
+        self._bp_log: Dict[int, tuple] = {}
+        self._bp_lock = threading.Lock()
 
         token = f"client-{session_id}"
         # Command channel first: its hello_ack carries the debuggee identity.
         self._command_sock = connect_endpoint(
             host, port, protocol.ROLE_COMMAND, pid=0,
-            session_token=token, timeout=connect_timeout)
+            session_token=token, timeout=connect_timeout,
+            resume_token=resume_token)
         ack = recv_frame(self._command_sock)
         if not isinstance(ack, dict) or ack.get("type") != "hello_ack":
             self._command_sock.close()
@@ -70,6 +90,10 @@ class DebugSession:
         self.parent_pid: int = ack["parent_pid"]
         self.program: Optional[str] = ack.get("program")
         self.main_thread: int = ack.get("main_thread", 0)
+        #: the server's token epoch — present it as ``resume_token`` to
+        #: reclaim this session after a client restart
+        self.session_token: Optional[str] = ack.get("session_token")
+        self.resumed: bool = bool(ack.get("resumed", False))
 
         # Source-sync channel (the paper's second data socket).
         self._source_sock = connect_endpoint(
@@ -80,7 +104,9 @@ class DebugSession:
             self.close()
             raise HandshakeError("bad hello_ack on source channel")
         self._command_sock.settimeout(None)
-        self._source_sock.settimeout(connect_timeout)
+        # The source channel is strict request/response, so a socket
+        # timeout IS its per-request deadline.
+        self._source_sock.settimeout(request_timeout)
 
         # Events are dispatched on their own thread: handlers routinely
         # issue blocking requests (e.g. auto-resume on stop), and a
@@ -96,12 +122,45 @@ class DebugSession:
             target=self._read_loop, name=f"dionea-session-{self.pid}",
             daemon=True)
         self._reader.start()
+        self._heartbeat: Optional[threading.Thread] = None
+        if self.heartbeat_interval > 0:
+            self._last_pong = time.monotonic()
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"dionea-heartbeat-{self.pid}", daemon=True)
+            self._heartbeat.start()
 
     # -- lifecycle --------------------------------------------------------------
 
     @property
     def closed(self) -> bool:
         return self._closed.is_set()
+
+    @property
+    def lost(self) -> bool:
+        """True when the *peer* died (vs. an orderly local close)."""
+        return self.lost_reason is not None
+
+    def declare_lost(self, reason: str) -> None:
+        """Supervision verdict: the server is gone or unresponsive.
+
+        Fails every in-flight request with :class:`SessionLostError`
+        immediately, delivers a synthetic ``session_lost`` event to the
+        owning client (so the process tree can mark the debuggee exited),
+        then closes the session.  Idempotent; a session that already
+        closed in an orderly way cannot become lost.
+        """
+        if self._closed.is_set() or self.lost_reason is not None:
+            return
+        self.lost_reason = reason
+        # The lost event must enter the queue before close()'s sentinel
+        # so the dispatcher delivers it before shutting down.
+        event_queue = getattr(self, "_event_queue", None)
+        if event_queue is not None:
+            event_queue.put(protocol.make_event(
+                protocol.EV_SESSION_LOST,
+                {"pid": self.pid, "reason": reason}))
+        self.close()
 
     def close(self) -> None:
         if self._closed.is_set():
@@ -135,11 +194,14 @@ class DebugSession:
                 timeout: Optional[float] = None) -> Any:
         """Send one command and wait for its response.
 
-        Raises :class:`CommandError` when the server reports failure and
-        :class:`SessionError` when the session dies mid-request.
+        Every call resolves within its deadline: the server answers, the
+        server reports an error (:class:`CommandError`), the deadline
+        expires (:class:`RequestTimeoutError`), or the session dies
+        mid-request (:class:`SessionLostError` — raised immediately on
+        disconnect, not after the deadline).
         """
         if self._closed.is_set():
-            raise SessionError(f"session to pid {self.pid} is closed")
+            raise self._closed_error(f"session to pid {self.pid} is closed")
         request_id = next(self._request_ids)
         entry = _PendingRequest()
         with self._pending_lock:
@@ -150,20 +212,50 @@ class DebugSession:
         except OSError as exc:
             with self._pending_lock:
                 self._pending.pop(request_id, None)
-            raise SessionError(f"send failed: {exc}") from exc
-        if not entry.event.wait(timeout or self.request_timeout):
+            raise SessionLostError(f"send failed: {exc}") from exc
+        deadline = timeout if timeout is not None else self.request_timeout
+        if not entry.event.wait(deadline):
             with self._pending_lock:
                 self._pending.pop(request_id, None)
-            raise SessionError(
-                f"timeout waiting for response to {command!r}")
+            raise RequestTimeoutError(
+                f"no response to {command!r} from pid {self.pid} "
+                f"within {deadline:.1f}s")
         response = entry.response
         if response is None:
-            raise SessionError(f"session to pid {self.pid} closed "
-                               f"while waiting for {command!r}")
+            raise self._closed_error(
+                f"session to pid {self.pid} closed while waiting "
+                f"for {command!r}")
         if not response.get("ok", False):
             error = response.get("error") or {}
             raise CommandError(error.get("message", "unknown server error"))
-        return response.get("result")
+        result = response.get("result")
+        self._record_breakpoint_intent(command, args or {}, result)
+        return result
+
+    def _closed_error(self, message: str) -> SessionError:
+        if self.lost_reason is not None:
+            return SessionLostError(f"{message} ({self.lost_reason})")
+        return SessionError(message)
+
+    # -- client-side breakpoint intent (reattach resync) ----------------------------
+
+    def _record_breakpoint_intent(self, command: str, args: dict,
+                                  result: Any) -> None:
+        if command in ("set_break", "set_function_break"):
+            if isinstance(result, dict) and isinstance(result.get("id"),
+                                                       int):
+                with self._bp_lock:
+                    self._bp_log[result["id"]] = (command, dict(args))
+        elif command == "clear_break":
+            if isinstance(result, dict):
+                with self._bp_lock:
+                    self._bp_log.pop(result.get("removed"), None)
+
+    def breakpoint_specs(self) -> List[tuple]:
+        """(command, args) for every breakpoint this session set and has
+        not cleared — what a reattach re-sends if the server lost them."""
+        with self._bp_lock:
+            return list(self._bp_log.values())
 
     # -- source channel (lock-step request/response) -------------------------------------
 
@@ -171,7 +263,7 @@ class DebugSession:
                      end: Optional[int] = None) -> dict:
         """Source-sync: pull lines of *file* over the source socket."""
         if self._closed.is_set():
-            raise SessionError(f"session to pid {self.pid} is closed")
+            raise self._closed_error(f"session to pid {self.pid} is closed")
         args = {"file": file, "start": start}
         if end is not None:
             args["end"] = end
@@ -181,8 +273,13 @@ class DebugSession:
                        protocol.make_request(request_id, "source", args))
             try:
                 response = recv_frame(self._source_sock)
+            except socket.timeout as exc:
+                raise RequestTimeoutError(
+                    f"no source response from pid {self.pid} within "
+                    f"{self.request_timeout:.1f}s") from exc
             except (FramingError, OSError) as exc:
-                raise SessionError(f"source channel failed: {exc}") from exc
+                raise SessionLostError(
+                    f"source channel failed: {exc}") from exc
         if response is None:
             raise SessionError("source channel closed")
         if not response.get("ok", False):
@@ -205,9 +302,41 @@ class DebugSession:
             mtype = message.get("type")
             if mtype == "response":
                 self._complete(message)
+            elif mtype == "pong":
+                self._last_pong = time.monotonic()
             elif mtype == "event":
+                if message.get("event") == protocol.EV_SERVER_EXIT:
+                    # Orderly farewell: the EOF that follows is expected.
+                    self._server_exited = True
                 self._event_queue.put(message)
+        if not self._closed.is_set() and not self._server_exited:
+            # The stream died under us with no farewell: a crashed or
+            # SIGKILLed server.  Fail pending requests *now* — their
+            # deadlines would only add latency to a known-dead peer.
+            self.declare_lost("command channel closed unexpectedly")
         self.close()
+
+    def _heartbeat_loop(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        interval = self.heartbeat_interval
+        budget = interval * self.heartbeat_misses
+        seq = 0
+        while not self._closed.wait(interval):
+            seq += 1
+            try:
+                send_frame(self._command_sock, protocol.make_ping(seq))
+            except OSError:
+                self.declare_lost("heartbeat ping could not be sent")
+                return
+            # The pong for this ping may take up to `interval` to matter;
+            # what we police is silence across the whole miss budget.
+            silence = time.monotonic() - self._last_pong
+            if silence > budget:
+                self.declare_lost(
+                    f"no heartbeat ack for {silence:.1f}s "
+                    f"({self.heartbeat_misses} beats missed)")
+                return
 
     def _dispatch_loop(self) -> None:
         from ..util.ids import untrace_current_thread

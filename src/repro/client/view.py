@@ -52,6 +52,20 @@ class DebugView:
             self._stopped.clear()
             self._cond.notify_all()
 
+    def rebind(self, session: "DebugSession") -> None:
+        """Point this view at a successor session for the same debuggee.
+
+        Used on client reattach: the server (and its parked UEs) survived
+        the client's crash, so existing views keep their identity and stop
+        state and only swap the transport underneath.  The server's
+        stop replay then refreshes the capture.
+        """
+        if session.pid != self.ue.pid:
+            raise ViewError(
+                f"cannot rebind view of {self.ue} to a session for "
+                f"pid {session.pid}")
+        self.session = session
+
     @property
     def is_stopped(self) -> bool:
         return self._stopped.is_set()

@@ -66,7 +66,8 @@ class Dionea:
                  park_timeout: Optional[float] = 60.0,
                  disturb: bool = False,
                  capture_io: bool = False,
-                 install_tracing: bool = True):
+                 install_tracing: bool = True,
+                 client_loss_grace: float = 3.0):
         self.run_id = run_id or uuid.uuid4().hex[:12]
         self.portfile = PortFile(
             portfile_path or default_portfile_path(self.run_id))
@@ -83,6 +84,7 @@ class Dionea:
             disturb_setter=self.disturb_mode.set_enabled,
             deadlock_reporter=self.deadlock.report,
             capture_io=capture_io,
+            client_loss_grace=client_loss_grace,
         )
         self.patcher = ForkPatcher(self.fork_registry, backend=fork_backend)
         self.patcher.on_child_forked = self._record_child

@@ -66,6 +66,26 @@ def cmd_info(server: "DebugServer", args: Dict[str, Any]) -> Any:
     return state
 
 
+@command("status")
+def cmd_status(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Supervision snapshot: what a reattaching client needs to resync.
+
+    Returns the token epoch, the parked-UE set and the breakpoint table
+    in one round trip, so a client recovering from a crash can diff its
+    local intent against the server's surviving state.
+    """
+    parked = server.engine.controller.parked_ues()
+    return {
+        "pid": server.session.pid,
+        "session_token": server.session.session_token,
+        "epoch": server.session.epoch,
+        "fork_generation": server.session.fork_generation,
+        "parked": [protocol.ue_to_wire(ue) for ue in parked],
+        "breakpoints": server.engine.breakpoints.snapshot_state(),
+        "grace_pending": server.grace_pending,
+    }
+
+
 @command("threads")
 def cmd_threads(server: "DebugServer", args: Dict[str, Any]) -> Any:
     """The Processes-and-threads view (Fig. 2), for this process."""

@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from ..testkit import faults
 from ..tracing.breakpoints import BreakpointStore
 from ..tracing.control import UEController
 from ..tracing.engine import TraceEngine
@@ -55,9 +56,16 @@ class DebugServer:
                  disturb: Optional[object] = None,
                  disturb_setter: Optional[Callable[[bool], None]] = None,
                  deadlock_reporter: Optional[Callable[[], dict]] = None,
-                 capture_io: bool = False):
+                 capture_io: bool = False,
+                 client_loss_grace: float = 3.0):
         self.session = SessionState(program=program)
         self.portfile = portfile
+        #: Client-loss policy: on command-channel loss, parked UEs are
+        #: held for this many seconds awaiting a reattach before the
+        #: server falls back to ``release_all`` (<= 0: release at once).
+        self.client_loss_grace = client_loss_grace
+        self._grace_timer: Optional[threading.Timer] = None
+        self._grace_lock = threading.Lock()
         self._host = host
         self._requested_port = port
         self.engine = TraceEngine(
@@ -133,6 +141,7 @@ class DebugServer:
         if not self._started:
             return
         self._started = False
+        self._cancel_grace_timer()
         if self.profiler is not None and self.profiler.running:
             self.profiler.stop()
         if self.output_capture.installed:
@@ -142,9 +151,15 @@ class DebugServer:
         if self.engine.installed:
             self.engine.uninstall()
         if self._listener is not None:
-            self._listener.broadcast_event(
-                protocol.make_event(protocol.EV_SERVER_EXIT,
-                                    {"pid": self.session.pid}))
+            try:
+                # Best-effort farewell: a peer that died first must not
+                # turn an orderly shutdown into a crash.
+                self._listener.broadcast_event(
+                    protocol.make_event(protocol.EV_SERVER_EXIT,
+                                        {"pid": self.session.pid}))
+            except Exception:  # noqa: BLE001
+                debug_event("server", "server_exit broadcast failed; "
+                                      "closing anyway")
             self._listener.close()
             self._listener = None
         self._endpoint = None
@@ -160,6 +175,7 @@ class DebugServer:
     # -- connection policy ----------------------------------------------------------
 
     def _handle_hello(self, conn: Connection, hello: dict) -> None:
+        resumed = False
         if (conn.role == protocol.ROLE_COMMAND
                 and self._listener is not None):
             existing = [c for c in self._listener.connections(
@@ -171,16 +187,37 @@ class DebugServer:
                     kind="SessionError"))
                 conn.close()
                 raise ProtocolError("second command client refused")
+            resume_token = hello.get("resume_token")
+            if resume_token is not None:
+                if resume_token != self.session.session_token:
+                    # Token-epoch mismatch: the reattacher holds a token
+                    # from a previous incarnation (a pre-fork parent, a
+                    # different process on a recycled port).  A stale
+                    # client driving this debuggee would corrupt both
+                    # sessions, so it is refused like a second client.
+                    conn.send(protocol.make_error(
+                        -1, "stale session token: this debuggee is "
+                            f"epoch {self.session.epoch}",
+                        kind="SessionError"))
+                    conn.close()
+                    raise ProtocolError("stale reattach token refused")
+                resumed = True
+            # A command client (fresh or resuming) is back: whatever loss
+            # grace was pending is void.
+            self._cancel_grace_timer()
         conn.send(protocol.make_hello_ack(
             pid=self.session.pid,
             parent_pid=self.session.parent_pid,
             program=self.session.program,
             main_thread=self.session.main_thread_ident,
+            session_token=self.session.session_token,
+            resumed=resumed,
         ))
         if conn.role == protocol.ROLE_COMMAND:
             # Replay stops that happened before the client connected — a
             # forked child may hit an inherited breakpoint in the window
-            # between its announce and the client's dial (Fig. 6).
+            # between its announce and the client's dial (Fig. 6), and a
+            # reattaching client resyncs its views from the same replay.
             with self._stops_lock:
                 replay = list(self._last_stops.items())
             for ue, wire in replay:
@@ -190,19 +227,69 @@ class DebugServer:
                      "session_token": self.session.session_token}))
 
     def _handle_disconnect(self, conn: Connection) -> None:
-        if conn.role == protocol.ROLE_COMMAND:
-            # The client is gone: nothing will ever release parked UEs, so
-            # set them free (debugging ends, the program survives).
-            released = self.engine.controller.release_all()
-            if released:
-                debug_event("server",
-                            f"client vanished; released {released} UEs")
+        if conn.role != protocol.ROLE_COMMAND:
+            return
+        if self._listener is not None and self._listener.connections(
+                protocol.ROLE_COMMAND):
+            # A refused second client (or any stray command conn) died
+            # while the real client is still attached: not a loss.
+            return
+        if self.client_loss_grace <= 0:
+            self._release_for_lost_client("client vanished")
+            return
+        # Hold parked UEs for the grace window: a restarting client may
+        # reattach (resume token) and reclaim them with state intact.
+        with self._grace_lock:
+            if self._grace_timer is not None:
+                return
+            timer = threading.Timer(self.client_loss_grace,
+                                    self._on_grace_expired)
+            timer.daemon = True
+            self._grace_timer = timer
+            timer.start()
+        debug_event("server",
+                    f"client lost; holding parked UEs for "
+                    f"{self.client_loss_grace:.1f}s grace")
+
+    def _on_grace_expired(self) -> None:
+        with self._grace_lock:
+            self._grace_timer = None
+        if not self._started:
+            return
+        if (self._listener is not None
+                and self._listener.connections(protocol.ROLE_COMMAND)):
+            return  # a client reattached as the timer fired
+        self._release_for_lost_client("grace window expired")
+
+    def _release_for_lost_client(self, why: str) -> None:
+        # The client is gone: nothing will ever release parked UEs, so
+        # set them free (debugging ends, the program survives).
+        released = self.engine.controller.release_all()
+        if released:
+            debug_event("server", f"{why}; released {released} UEs")
+
+    def _cancel_grace_timer(self) -> None:
+        with self._grace_lock:
+            timer, self._grace_timer = self._grace_timer, None
+        if timer is not None:
+            timer.cancel()
+
+    @property
+    def grace_pending(self) -> bool:
+        """True while parked UEs are being held for a client reattach."""
+        with self._grace_lock:
+            return self._grace_timer is not None
 
     # -- request dispatch ---------------------------------------------------------------
 
     def _handle_request(self, conn: Connection, message: dict) -> None:
         request_id = message["id"]
         try:
+            # Injection point server.request.dispatch: a `delay` fault
+            # freezes the reactor mid-request (the client's per-request
+            # deadline must fire); `kill`/`exit` faults die mid-request
+            # (the client must surface session loss, not hang).
+            faults.maybe_fault("server.request.dispatch")
             result = dispatch(self, message["command"], message["args"])
         except CommandError as exc:
             conn.send(protocol.make_error(request_id, str(exc)))
@@ -270,6 +357,12 @@ class DebugServer:
         (Fig. 4), open a fresh endpoint, start a fresh listener thread,
         and announce the new server through the port file (Fig. 6).
         """
+        # 0. Forget the parent's pending grace timer, if any: the timer
+        #    thread did not survive the fork, and the child's session is
+        #    a fresh epoch with no client yet.
+        with self._grace_lock:
+            self._grace_timer = None
+
         # 1. Drop inherited sockets.  Closing our descriptor copies does
         #    not disturb the parent — but shutdown(2) WOULD (it acts on
         #    the shared socket), so inherited connections are closed

@@ -191,6 +191,9 @@ class Listener:
             if self.on_hello is not None:
                 self.on_hello(conn, message)
             return
+        if message.get("type") == "ping":
+            self._handle_ping(conn, message)
+            return
         protocol.validate_request(message)
         try:
             self.on_request(conn, message)
@@ -200,3 +203,25 @@ class Listener:
                 message.get("id", -1),
                 f"internal error: {type(exc).__name__}: {exc}",
                 kind="InternalError"))
+
+    def _handle_ping(self, conn: Connection, message: dict) -> None:
+        """Heartbeat: ack a client ping inline on the reactor thread.
+
+        Answering here (not in the command table) is deliberate: a pong
+        proves the *reactor* is alive and draining its socket, which is
+        exactly the liveness property the client's heartbeat monitor
+        wants to measure.
+
+        Injection point ``server.heartbeat.pong``: a ``delay`` fault
+        stalls the reactor before acking (a frozen server); any other
+        fault swallows the pong (a lossy/black-holed ack path).  Both
+        starve the client of beats without touching the TCP stream.
+        """
+        fault = faults.fire("server.heartbeat.pong")
+        if fault is not None:
+            if fault.kind == "delay":
+                fault.apply()
+            else:
+                return
+        seq = message.get("seq", 0)
+        conn.send(protocol.make_pong(seq if isinstance(seq, int) else 0))

@@ -36,13 +36,18 @@ EV_PROCESS_FORKED = "process_forked"
 EV_OUTPUT = "output"
 EV_DEADLOCK = "deadlock"
 EV_SERVER_EXIT = "server_exit"
+#: Synthesised by the *client* when the supervision layer declares a
+#: session dead (missed heartbeats, or the command channel dropping
+#: without an orderly ``server_exit``).  Never sent on the wire.
+EV_SESSION_LOST = "session_lost"
 
 
 def make_hello(role: str, pid: int, session_token: str,
-               program: Optional[str] = None) -> Dict[str, Any]:
+               program: Optional[str] = None,
+               resume_token: Optional[str] = None) -> Dict[str, Any]:
     if role not in VALID_ROLES:
         raise ProtocolError(f"invalid role {role!r}")
-    return {
+    hello: Dict[str, Any] = {
         "type": "hello",
         "version": PROTOCOL_VERSION,
         "role": role,
@@ -50,10 +55,16 @@ def make_hello(role: str, pid: int, session_token: str,
         "session_token": session_token,
         "program": program,
     }
+    if resume_token is not None:
+        # Reattach: the client claims an existing server-side session by
+        # presenting the token it learned in the original hello_ack.
+        hello["resume_token"] = resume_token
+    return hello
 
 
 def make_hello_ack(pid: int, parent_pid: int, program: Optional[str],
-                   main_thread: int) -> Dict[str, Any]:
+                   main_thread: int, session_token: Optional[str] = None,
+                   resumed: bool = False) -> Dict[str, Any]:
     return {
         "type": "hello_ack",
         "version": PROTOCOL_VERSION,
@@ -61,7 +72,19 @@ def make_hello_ack(pid: int, parent_pid: int, program: Optional[str],
         "parent_pid": parent_pid,
         "program": program,
         "main_thread": main_thread,
+        "session_token": session_token,
+        "resumed": resumed,
     }
+
+
+def make_ping(seq: int) -> Dict[str, Any]:
+    """Client → server liveness probe on the command channel."""
+    return {"type": "ping", "seq": seq}
+
+
+def make_pong(seq: int, pid: int = 0) -> Dict[str, Any]:
+    """Server → client heartbeat ack; echoes the ping's ``seq``."""
+    return {"type": "pong", "seq": seq, "pid": pid}
 
 
 def make_request(request_id: int, command: str,
@@ -96,7 +119,8 @@ def message_type(message: Any) -> str:
         raise ProtocolError(f"message must be an object, got "
                             f"{type(message).__name__}")
     mtype = message.get("type")
-    if mtype not in ("hello", "hello_ack", "request", "response", "event"):
+    if mtype not in ("hello", "hello_ack", "request", "response", "event",
+                     "ping", "pong"):
         raise ProtocolError(f"unknown message type {mtype!r}")
     return mtype
 

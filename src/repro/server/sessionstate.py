@@ -45,6 +45,11 @@ class SessionState:
     children: List[int] = field(default_factory=list)
     #: generation 0 = the original debuggee, +1 per fork hop.
     fork_generation: int = 0
+    #: bumped whenever the session identity changes (currently: fork).
+    #: ``session_token`` + ``epoch`` together define the token epoch a
+    #: reattaching client must match; a client holding a pre-fork token
+    #: is *stale* and is refused.
+    epoch: int = 0
 
     def record_child(self, pid: int) -> None:
         if pid not in self.children:
@@ -64,6 +69,7 @@ class SessionState:
         self.created_at = time.monotonic()
         self.children = []
         self.fork_generation += 1
+        self.epoch += 1
 
     def describe(self) -> Dict[str, object]:
         """Wire-ready summary for the client's Processes-and-threads view."""
@@ -75,4 +81,5 @@ class SessionState:
             "main_thread": self.main_thread_ident,
             "children": list(self.children),
             "fork_generation": self.fork_generation,
+            "epoch": self.epoch,
         }

@@ -141,7 +141,8 @@ class ListenEndpoint:
 def connect_endpoint(host: str, port: int, role: str, pid: int,
                      session_token: str, timeout: float = 5.0,
                      program: Optional[str] = None,
-                     refused_grace: float = 0.1) -> socket.socket:
+                     refused_grace: float = 0.1,
+                     resume_token: Optional[str] = None) -> socket.socket:
     """Client side: dial the server and send the role hello.
 
     Returns the connected socket; the caller reads the hello_ack.
@@ -181,7 +182,8 @@ def connect_endpoint(host: str, port: int, role: str, pid: int,
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     hello = protocol.make_hello(role=role, pid=pid,
                                 session_token=session_token,
-                                program=program)
+                                program=program,
+                                resume_token=resume_token)
     faults.maybe_fault("net.hello.send")
     sock.sendall(encode_frame(hello))
     return sock

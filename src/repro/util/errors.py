@@ -28,6 +28,25 @@ class SessionError(ReproError):
     """Illegal operation on a debug session (closed, duplicate, ...)."""
 
 
+class SessionLostError(SessionError):
+    """The peer of a debug session died or stopped responding.
+
+    Raised by the client when the heartbeat monitor declares the server
+    lost (N missed beats), or when the command channel drops without an
+    orderly ``server_exit`` — every in-flight request fails with this
+    immediately instead of waiting out its deadline.
+    """
+
+
+class RequestTimeoutError(SessionError):
+    """One request exceeded its deadline; the session itself may live on.
+
+    Distinct from :class:`SessionLostError`: a single slow command (a
+    frozen reactor, a wedged handler) times out per-request, while the
+    heartbeat decides whether the whole session is gone.
+    """
+
+
 class ViewError(SessionError):
     """Illegal operation on a debug view (unknown UE, inactive view, ...)."""
 

@@ -14,7 +14,9 @@ debug run, which doubles as an audit trail of every fork.
 
 from __future__ import annotations
 
+import contextlib
 import errno
+import fcntl
 import json
 import os
 import tempfile
@@ -61,6 +63,23 @@ def default_portfile_path(run_id: str) -> str:
     return os.path.join(tempfile.gettempdir(), f"dionea-ports-{run_id}.jsonl")
 
 
+def pid_alive(pid: int) -> bool:
+    """Liveness probe: does *pid* exist right now?
+
+    ``kill(pid, 0)`` performs permission checks but sends nothing;
+    EPERM therefore means "exists, not ours" — alive.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
 class PortFile:
     """Writer/reader for the rendezvous file.
 
@@ -72,6 +91,24 @@ class PortFile:
     def __init__(self, path: str):
         self.path = path
         self._write_lock = threading.Lock()
+
+    @contextlib.contextmanager
+    def _flocked(self):
+        """Cross-process mutual exclusion between appenders and the GC.
+
+        ``O_APPEND`` alone keeps concurrent *appends* intact, but the
+        liveness GC rewrites the whole file — an append landing between
+        its read and its rename would be silently dropped.  A sidecar
+        ``flock`` file serialises the two; appenders hold it only for
+        one ``write(2)``.
+        """
+        lock_fd = os.open(f"{self.path}.lock",
+                          os.O_WRONLY | os.O_CREAT, 0o600)
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(lock_fd)  # closing releases the flock
 
     # -- writer side (debug server, child fork handler) --------------------
 
@@ -86,7 +123,7 @@ class PortFile:
         data = line.encode("utf-8")
         if len(data) > 4096:
             raise RendezvousError("port record unexpectedly large")
-        with self._write_lock:
+        with self._write_lock, self._flocked():
             fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT,
                          0o600)
             try:
@@ -116,6 +153,42 @@ class PortFile:
             if exc.errno != errno.ENOENT:
                 raise
 
+    # -- liveness GC --------------------------------------------------------
+
+    def reap_dead(self, min_age: float = 5.0,
+                  now: Optional[float] = None) -> List[PortRecord]:
+        """Drop records whose pid is dead; returns the reaped records.
+
+        Only records older than *min_age* seconds are candidates: a
+        record younger than that can belong to a child between its
+        ``announce`` and its first breath (pid visible but the process
+        table entry still settling), and reaping it would orphan a
+        live debuggee.
+
+        The rewrite is atomic (temp file + ``rename``) and holds the
+        sidecar ``flock`` so a concurrent child's append can never land
+        between the read and the rename and be lost.
+        """
+        now = time.time() if now is None else now
+        with self._write_lock, self._flocked():
+            records = self.read_all()
+            keep: List[PortRecord] = []
+            reaped: List[PortRecord] = []
+            for record in records:
+                if (now - record.created_at >= min_age
+                        and not pid_alive(record.pid)):
+                    reaped.append(record)
+                else:
+                    keep.append(record)
+            if not reaped:
+                return []
+            tmp = f"{self.path}.gc.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in keep:
+                    fh.write(record.to_json() + "\n")
+            os.replace(tmp, self.path)
+        return reaped
+
 
 @dataclass
 class PortFileWatcher:
@@ -130,9 +203,15 @@ class PortFileWatcher:
     portfile: PortFile
     on_record: Callable[[PortRecord], None]
     poll_interval: float = 0.02
+    #: re-dialing a dead pid's record wastes a connect timeout per poll;
+    #: with gc_interval > 0, dead pids are never dialed and their records
+    #: are reaped every `gc_interval` seconds.  Off (0) by default at
+    #: this layer; :meth:`DebugClient.watch_portfile` turns it on.
+    gc_interval: float = 0.0
     _seen: Dict[int, PortRecord] = field(default_factory=dict)
     _thread: Optional[threading.Thread] = None
     _stop: threading.Event = field(default_factory=threading.Event)
+    _next_gc: float = 0.0
 
     def poll_once(self) -> List[PortRecord]:
         """Process any unseen records; returns the new ones (for tests)."""
@@ -141,10 +220,24 @@ class PortFileWatcher:
             key = record.pid
             if key in self._seen:
                 continue
+            if self.gc_interval > 0 and not pid_alive(record.pid):
+                # Announced, then died before we dialed: never attach.
+                # Mark seen so the pid is not re-probed every poll; the
+                # periodic reap below erases the record itself.
+                self._seen[key] = record
+                continue
             self._seen[key] = record
             fresh.append(record)
         for record in fresh:
             self.on_record(record)
+        if self.gc_interval > 0:
+            now = time.monotonic()
+            if now >= self._next_gc:
+                self._next_gc = now + self.gc_interval
+                for reaped in self.portfile.reap_dead():
+                    # Forget reaped pids: if the pid is ever recycled by
+                    # a *new* debuggee, its fresh record must be dialed.
+                    self._seen.pop(reaped.pid, None)
         return fresh
 
     def start(self) -> None:

@@ -9,11 +9,70 @@ poison its neighbours.
 from __future__ import annotations
 
 import os
+import signal
 import sys
 import threading
 import time
 
 import pytest
+
+#: Per-test wall-clock cap (seconds).  The supervision layer's whole
+#: promise is "never hangs"; a regression must fail THIS test quickly,
+#: not wedge the suite until the Makefile's job-level timeout fires.
+#: Enforced by pytest-timeout when installed, else by the SIGALRM
+#: fallback below.  Override per run with DIONEA_TEST_TIMEOUT=<seconds>
+#: (0 disables), per test with @pytest.mark.timeout(<seconds>).
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("DIONEA_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    has_plugin = config.pluginmanager.hasplugin("timeout")
+    config._dionea_alarm_fallback = (  # noqa: SLF001
+        not has_plugin and DEFAULT_TEST_TIMEOUT > 0
+        and hasattr(signal, "SIGALRM"))
+    if has_plugin and DEFAULT_TEST_TIMEOUT > 0:
+        # Respect an explicit --timeout from the command line.
+        if not getattr(config.option, "timeout", None):
+            config.option.timeout = DEFAULT_TEST_TIMEOUT
+
+
+def _test_timeout(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        try:
+            return float(marker.args[0])
+        except (TypeError, ValueError):
+            pass
+    return DEFAULT_TEST_TIMEOUT
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM-based per-test deadline when pytest-timeout is absent.
+
+    The alarm interrupts even a test blocked inside a lock acquire or a
+    socket read on the main thread — the failure names the test and its
+    budget instead of the whole run dying to the job-level `timeout(1)`.
+    """
+    timeout = _test_timeout(item)
+    if (not getattr(item.config, "_dionea_alarm_fallback", False)
+            or timeout <= 0
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded its {timeout:.0f}s deadline "
+                    f"(per-test cap; see tests/conftest.py)",
+                    pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)

@@ -33,7 +33,8 @@ LOOP_BP_LINE = traced_loop.__code__.co_firstlineno + 3
 class TestClientDeath:
     def test_dead_client_releases_parked_ues(self, waiter):
         """§4.1's 1:1 session ends abruptly: the debuggee must run on."""
-        server = DebugServer(program="t", park_timeout=30.0)
+        server = DebugServer(program="t", park_timeout=30.0,
+                             client_loss_grace=0.2)
         server.start()
         try:
             client = DebugClient()

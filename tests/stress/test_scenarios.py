@@ -451,6 +451,161 @@ def test_frame_delay_storm():
 
 
 # ---------------------------------------------------------------------------
+# 11. Server SIGKILLed mid-command: the pending request must resolve
+#     within its deadline and the loss must be surfaced (supervision
+#     acceptance scenario A)
+
+
+def _traced_loop(n):
+    total = 0
+    for i in range(n):
+        total += 1              # TRACED_BP_LINE
+    return total
+
+
+TRACED_BP_LINE = _traced_loop.__code__.co_firstlineno + 3
+_SRC = os.path.abspath(__file__)
+
+
+def _server_sigkilled_mid_command(ctx):
+    from repro.client import DebugClient
+    from repro.server import DebugServer
+    from repro.util.errors import RequestTimeoutError, SessionLostError
+
+    portfile = ctx.portfile()
+    ctx.defer(portfile.remove)
+
+    def doomed_server():
+        # The child arms its own registry copy: the first dispatched
+        # command SIGKILLs the process mid-request — no farewell, no
+        # FIN-with-goodbye, just a vanished peer.
+        fault_registry().reset()
+        fault_registry().arm("server.request.dispatch", Fault.kill())
+        server = DebugServer(program="stress-doomed", park_timeout=15.0)
+        server.start(install_tracing=False)
+        portfile.announce(PortRecord(
+            pid=os.getpid(), parent_pid=os.getppid(),
+            host="127.0.0.1", port=server.port, created_at=time.time()))
+        time.sleep(30.0)  # the injected SIGKILL fires first
+        return 1
+
+    child = ctx.fork(doomed_server)
+    deadline = time.monotonic() + 10.0
+    record = None
+    while time.monotonic() < deadline and record is None:
+        for rec in portfile.read_all():
+            if rec.pid == child:
+                record = rec
+        time.sleep(0.02)
+    assert record is not None, "doomed server never announced"
+
+    lost = []
+    client = DebugClient(on_session_lost=lambda s, r: lost.append(r))
+    ctx.defer(client.close)
+    session = client.attach(record.host, record.port,
+                            request_timeout=5.0,
+                            heartbeat_interval=0.2, heartbeat_misses=3)
+    start = time.monotonic()
+    try:
+        session.request("threads", timeout=5.0)
+    except (SessionLostError, RequestTimeoutError) as exc:
+        ctx.details["request_error"] = type(exc).__name__
+    else:
+        raise AssertionError("request to a SIGKILLed server succeeded")
+    elapsed = time.monotonic() - start
+    assert elapsed < 5.0, \
+        f"pending request blocked {elapsed:.1f}s past the server's death"
+    assert session.lost, "supervision never declared the session lost"
+    end = time.monotonic() + 5.0
+    while time.monotonic() < end and not lost:
+        time.sleep(0.02)
+    assert lost, "EV_SESSION_LOST never reached the client callback"
+
+    assert ctx.wait_child(child, timeout=10.0) == -9  # SIGKILL
+    # The liveness GC reaps the corpse's rendezvous record.
+    reaped = portfile.reap_dead(min_age=0.0)
+    assert child in [r.pid for r in reaped]
+    ctx.details["elapsed"] = elapsed
+
+
+def test_server_sigkilled_mid_command():
+    run_ok("server_sigkilled_mid_command", _server_sigkilled_mid_command,
+           seed=MASTER_SEED + 31)
+
+
+# ---------------------------------------------------------------------------
+# 12. Client restart: reattach to a surviving server within the grace
+#     window, reclaiming parked UEs with breakpoints intact (supervision
+#     acceptance scenario B)
+
+
+def _client_restart_reattach(ctx):
+    from repro.client import DebugClient
+    from repro.server import DebugServer
+
+    portfile = ctx.portfile()
+    ctx.defer(portfile.remove)
+    go_path = portfile.path + ".go"
+    ctx.defer(lambda: os.path.exists(go_path) and os.unlink(go_path))
+
+    def debuggee():
+        fault_registry().reset()
+        server = DebugServer(program="stress-reattach", park_timeout=30.0,
+                             client_loss_grace=5.0)
+        server.start()  # tracing on: the loop below is debuggable
+        portfile.announce(PortRecord(
+            pid=os.getpid(), parent_pid=os.getppid(),
+            host="127.0.0.1", port=server.port, created_at=time.time()))
+        end = time.monotonic() + 20.0
+        while time.monotonic() < end and not os.path.exists(go_path):
+            time.sleep(0.01)
+        result = _traced_loop(3)  # parks at the client's breakpoint
+        server.close()
+        return 0 if result == 3 else 1
+
+    child = ctx.fork(debuggee)
+    deadline = time.monotonic() + 10.0
+    record = None
+    while time.monotonic() < deadline and record is None:
+        for rec in portfile.read_all():
+            if rec.pid == child:
+                record = rec
+        time.sleep(0.02)
+    assert record is not None, "debuggee never announced"
+
+    client = DebugClient()
+    ctx.defer(client.close)
+    session = client.attach(record.host, record.port)
+    bp = session.request("set_break", {"file": _SRC,
+                                       "line": TRACED_BP_LINE})
+    with open(go_path, "w", encoding="utf-8") as fh:
+        fh.write("go")
+    view = client.wait_for_stop(timeout=15.0)[0]
+    view.wait_stopped(15.0)
+
+    # The client "crashes": the transport dies with stop state live.
+    session.close()
+
+    # ...and restarts within the server's grace window, presenting the
+    # resume token.  Parked UE and breakpoint must both have survived.
+    reclaimed = client.reattach(child)
+    assert reclaimed.resumed, "server treated the reattach as fresh"
+    view.wait_stopped(15.0)  # stop replay refreshed the view
+    table = reclaimed.request("breaks")
+    assert len(table) == 1, f"breakpoints not intact: {table}"
+
+    reclaimed.request("clear_break", {"id": bp["id"]})
+    view.cont()
+    assert ctx.wait_child(child, timeout=15.0) == 0
+    ctx.details["reattached"] = True
+
+
+def test_client_restart_reattach():
+    run_ok("client_restart_reattach", _client_restart_reattach,
+           seed=MASTER_SEED + 37)
+
+
+# ---------------------------------------------------------------------------
 # Runner self-checks: the sweep actually reports what it claims to
 
 

@@ -159,3 +159,87 @@ def test_default_path_is_per_run():
     b = default_portfile_path("runB")
     assert a != b
     assert "runA" in a
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        from repro.util.portfile import pid_alive
+        assert pid_alive(os.getpid())
+
+    def test_nonsense_pids_are_dead(self):
+        from repro.util.portfile import pid_alive
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+        assert not pid_alive(99999999)
+
+    @pytest.mark.forks
+    def test_reaped_child_is_dead(self):
+        from repro.util.portfile import pid_alive
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert not pid_alive(pid)
+
+
+class TestReapDead:
+    def test_old_dead_record_reaped_live_kept(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        stale = PortRecord(pid=99999999, parent_pid=1, host="127.0.0.1",
+                           port=1, created_at=time.time() - 60)
+        live = record(pid=os.getpid())
+        pf.announce(stale)
+        pf.announce(live)
+        reaped = pf.reap_dead(min_age=5.0)
+        assert [r.pid for r in reaped] == [99999999]
+        assert [r.pid for r in pf.read_all()] == [os.getpid()]
+
+    def test_min_age_protects_newborns(self, tmp_path):
+        """A freshly announced record is never a GC candidate, even if
+        its pid probe says dead (the child may not have drawn breath)."""
+        pf = PortFile(str(tmp_path / "ports"))
+        fresh = PortRecord(pid=99999999, parent_pid=1, host="127.0.0.1",
+                           port=1, created_at=time.time())
+        pf.announce(fresh)
+        assert pf.reap_dead(min_age=5.0) == []
+        assert len(pf.read_all()) == 1
+
+    def test_noop_reap_leaves_file_untouched(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record(pid=os.getpid()))
+        before = os.stat(pf.path).st_mtime_ns
+        assert pf.reap_dead(min_age=0.0) == []
+        assert os.stat(pf.path).st_mtime_ns == before
+
+
+class TestWatcherLiveness:
+    def test_dead_record_never_dialed_and_reaped(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        dead = PortRecord(pid=99999999, parent_pid=1, host="127.0.0.1",
+                          port=1, created_at=time.time() - 60)
+        live = record(pid=os.getpid())
+        pf.announce(dead)
+        pf.announce(live)
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append,
+                                  gc_interval=0.001)
+        fresh = watcher.poll_once()
+        assert [r.pid for r in fresh] == [os.getpid()]
+        assert [r.pid for r in seen] == [os.getpid()]
+        # the corpse was reaped from the file and forgotten, so a
+        # recycled pid's future record would be dialed afresh
+        assert [r.pid for r in pf.read_all()] == [os.getpid()]
+        assert 99999999 not in watcher._seen
+
+    def test_gc_off_by_default_dials_everything(self, tmp_path):
+        """The primitive layer stays policy-free: without gc_interval,
+        even a dead pid's record is delivered (tests forge these)."""
+        pf = PortFile(str(tmp_path / "ports"))
+        dead = PortRecord(pid=99999999, parent_pid=1, host="127.0.0.1",
+                          port=1, created_at=time.time() - 60)
+        pf.announce(dead)
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        watcher.poll_once()
+        assert [r.pid for r in seen] == [99999999]
+        assert len(pf.read_all()) == 1

@@ -94,3 +94,43 @@ class TestUEWire:
             protocol.ue_from_wire({"pid": "x"})
         with pytest.raises(ProtocolError):
             protocol.ue_from_wire({})
+
+
+class TestHeartbeat:
+    def test_ping_pong_shapes(self):
+        ping = protocol.make_ping(7)
+        assert ping == {"type": "ping", "seq": 7}
+        pong = protocol.make_pong(7, pid=123)
+        assert pong["type"] == "pong"
+        assert pong["seq"] == 7
+        assert pong["pid"] == 123
+
+    def test_ping_pong_are_valid_envelope_types(self):
+        assert protocol.message_type(protocol.make_ping(1)) == "ping"
+        assert protocol.message_type(protocol.make_pong(1)) == "pong"
+
+
+class TestReattach:
+    def test_hello_omits_resume_token_by_default(self):
+        hello = protocol.make_hello(protocol.ROLE_COMMAND, pid=1,
+                                    session_token="t")
+        assert "resume_token" not in hello
+
+    def test_hello_carries_resume_token_and_validates(self):
+        hello = protocol.make_hello(protocol.ROLE_COMMAND, pid=1,
+                                    session_token="t",
+                                    resume_token="epoch-token")
+        assert hello["resume_token"] == "epoch-token"
+        protocol.validate_hello(hello)
+
+    def test_hello_ack_carries_supervision_fields(self):
+        ack = protocol.make_hello_ack(pid=1, parent_pid=0,
+                                      program="p", main_thread=1,
+                                      session_token="srv-token",
+                                      resumed=True)
+        assert ack["session_token"] == "srv-token"
+        assert ack["resumed"] is True
+        plain = protocol.make_hello_ack(pid=1, parent_pid=0,
+                                        program="p", main_thread=1)
+        assert plain["session_token"] is None
+        assert plain["resumed"] is False

@@ -78,3 +78,26 @@ class TestDescribe:
         json.dumps(wire)
         assert wire["children"] == [9]
         assert wire["pid"] == state.pid
+
+
+class TestEpoch:
+    def test_epoch_counts_incarnations(self):
+        state = SessionState()
+        assert state.epoch == 0
+        state.rewrite_for_child()
+        assert state.epoch == 1
+        state.rewrite_for_child()
+        assert state.epoch == 2
+
+    def test_rewrite_mints_a_new_token(self):
+        """A child's epoch has its own token, so a client holding the
+        parent's token cannot accidentally drive the child."""
+        state = SessionState()
+        before = state.session_token
+        state.rewrite_for_child()
+        assert state.session_token != before
+
+    def test_describe_includes_epoch(self):
+        state = SessionState()
+        state.rewrite_for_child()
+        assert state.describe()["epoch"] == 1
