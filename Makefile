@@ -18,7 +18,9 @@ STRESS_LIMIT ?= 600
 # with its name attached instead of burning the whole job limit.
 TEST_TIMEOUT ?= 120
 
-.PHONY: test stress check
+BENCH_LIMIT ?= 900
+
+.PHONY: test stress check lint-hotpath bench-json
 
 test:
 	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
@@ -28,4 +30,15 @@ stress:
 	timeout $(STRESS_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
 		DIONEA_TEST_TIMEOUT=$(TEST_TIMEOUT) $(PYTHON) -m pytest tests/stress -m stress
 
-check: test stress
+# Hot-path discipline: the tracing/forkhooks/mp/obs packages must never
+# import stdlib `logging` (module lock + eager formatting + I/O).
+lint-hotpath:
+	$(PYTHON) tools/lint_hotpath.py
+
+# Telemetry overhead artifact: the §7 overhead pair plus the
+# metrics-on vs metrics-off arm, written to BENCH_obs.json.
+bench-json:
+	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json
+
+check: lint-hotpath test stress

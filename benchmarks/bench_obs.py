@@ -1,0 +1,143 @@
+"""Telemetry overhead benchmark: is the observability layer free enough?
+
+Two experiments, one JSON artifact (``BENCH_obs.json``):
+
+1. **The §7 overhead pair** (normal vs attached-debugger) on the
+   word-count workload — the repo's standing intrusion measurement,
+   re-run here so the telemetry numbers sit next to the baseline they
+   must not disturb.
+2. **Metrics-on vs metrics-off**, both arms under the attached debugger:
+   the same workload with :func:`repro.obs.metrics.set_enabled` toggled.
+   The difference is the *entire* cost of the metrics/span hot paths
+   (shard dict increments, histogram observes, span ring appends) —
+   the acceptance bound is metrics-on ≤ 3% over metrics-off.
+
+Best-of-N timing on both comparisons: the minimum is the run least
+perturbed by the OS, which is the quantity a fixed-cost bound is about.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --out BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+sys.path.insert(0, os.path.dirname(HERE))
+
+from benchmarks.harness import (  # noqa: E402
+    attached_debugger,
+    measure_arm,
+    overhead_pair,
+    wordcount_arm,
+)
+from repro.corpus import corpus_stats, generate_corpus, get_profile  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
+
+
+def metrics_toggle_pair(profile_name: str, n_workers: int,
+                        repeats: int, chunksize: int = 4) -> dict:
+    """Run the debugger-attached workload with metrics on, then off."""
+    profile = get_profile(profile_name)
+    documents = generate_corpus(profile)
+    run = wordcount_arm(documents, n_workers, chunksize)
+
+    with attached_debugger(program=f"obs-bench-{profile_name}"):
+        # Warm once so first-run costs (import, allocator, pyc) are not
+        # attributed to whichever arm happens to go first.
+        run()
+        obs_metrics.set_enabled(True)
+        try:
+            arm_on = measure_arm(run, repeats)
+        finally:
+            obs_metrics.set_enabled(False)
+        try:
+            arm_off = measure_arm(run, repeats)
+        finally:
+            obs_metrics.set_enabled(True)
+
+    overhead = 100.0 * (arm_on.best - arm_off.best) / arm_off.best
+    return {
+        "profile": profile_name,
+        "workers": n_workers,
+        "repeats": repeats,
+        "corpus": corpus_stats(profile),
+        "metrics_on": {"times": arm_on.times, "best": arm_on.best,
+                       "mean": arm_on.mean},
+        "metrics_off": {"times": arm_off.times, "best": arm_off.best,
+                        "mean": arm_off.mean},
+        "metrics_overhead_percent": overhead,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(HERE), "BENCH_obs.json"))
+    parser.add_argument("--profile", default="dionea",
+                        help="corpus profile for both experiments")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--budget-percent", type=float, default=3.0,
+                        help="fail if metrics-on exceeds metrics-off by "
+                             "more than this")
+    args = parser.parse_args(argv)
+
+    print(f"bench-obs: §7 overhead pair ({args.profile}, "
+          f"{args.workers} workers, best of {args.repeats}) ...",
+          flush=True)
+    pair = overhead_pair(args.profile, n_workers=args.workers,
+                         repeats=args.repeats)
+    print(pair.render())
+
+    print("bench-obs: metrics-on vs metrics-off (debugger attached) ...",
+          flush=True)
+    toggle = metrics_toggle_pair(args.profile, args.workers, args.repeats)
+    print(f"  metrics on:  best {toggle['metrics_on']['best']:8.3f}s  "
+          f"mean {toggle['metrics_on']['mean']:8.3f}s")
+    print(f"  metrics off: best {toggle['metrics_off']['best']:8.3f}s  "
+          f"mean {toggle['metrics_off']['mean']:8.3f}s")
+    print(f"  metrics overhead: "
+          f"{toggle['metrics_overhead_percent']:+6.2f}% "
+          f"(budget {args.budget_percent:.1f}%)")
+
+    document = {
+        "benchmark": "obs-overhead",
+        "section7_pair": {
+            "profile": pair.profile,
+            "workers": pair.n_workers,
+            "corpus": pair.corpus,
+            "normal": {"times": pair.normal.times,
+                       "best": pair.normal.best,
+                       "mean": pair.normal.mean},
+            "debugging": {"times": pair.debugging.times,
+                          "best": pair.debugging.best,
+                          "mean": pair.debugging.mean},
+            "overhead_percent": pair.overhead_percent,
+        },
+        "metrics_toggle": toggle,
+        "budget_percent": args.budget_percent,
+        "within_budget":
+            toggle["metrics_overhead_percent"] <= args.budget_percent,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(f"bench-obs: wrote {args.out}")
+
+    if not document["within_budget"]:
+        print(f"bench-obs: FAIL — metrics hot path costs "
+              f"{toggle['metrics_overhead_percent']:.2f}% "
+              f"(> {args.budget_percent:.1f}% budget)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

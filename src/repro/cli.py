@@ -106,6 +106,55 @@ def _read_lines(args: argparse.Namespace):
             return
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Pull cluster-wide telemetry; print it or export a Chrome trace."""
+    import json
+
+    from .client import DebugClient, Shell
+    from .obs.export import write_chrome_trace
+    from .util.portfile import PortFile
+
+    client = DebugClient()
+    try:
+        if args.portfile:
+            client.watch_portfile(PortFile(args.portfile))
+            deadline = time.monotonic() + args.attach_timeout
+            while (not client.sessions()
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            client.attach(host or "127.0.0.1", int(port))
+        if not client.sessions():
+            print("dionea: no debug servers found to poll",
+                  file=sys.stderr)
+            return 2
+        sweep = client.cluster_telemetry(reset=args.reset)
+        if args.export:
+            document = write_chrome_trace(
+                args.export,
+                list(sweep["processes"].values()),
+                client_snapshot=sweep.get("client"))
+            print(f"dionea: wrote {len(document['traceEvents'])} trace "
+                  f"events to {args.export} "
+                  f"(load in about:tracing or ui.perfetto.dev)")
+            return 0
+        if args.json:
+            print(json.dumps(sweep, indent=2, default=str))
+            return 0
+        shell = Shell(client)
+        for pid, snap in sorted(sweep["processes"].items()):
+            print(f"process {pid} ({snap.get('program') or '?'}, "
+                  f"epoch {snap.get('epoch')})")
+            print("\n".join(shell._render_metrics(snap, indent="  "))  # noqa: SLF001
+                  or "  (no metrics)")
+        for pid, err in sorted(sweep.get("errors", {}).items()):
+            print(f"process {pid}: telemetry failed: {err}")
+        return 0
+    finally:
+        client.close()
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the §7 overhead pair for one corpus profile, print the row."""
     import importlib.util
@@ -182,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds to wait for the first auto-attach "
                             "when watching a port file")
     shell.set_defaults(func=_cmd_shell)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="pull cluster-wide telemetry; optionally export a Chrome trace")
+    telemetry.add_argument("--portfile", default=None,
+                           help="watch this rendezvous file and attach to "
+                                "every announced server")
+    telemetry.add_argument("--connect", default=None, metavar="HOST:PORT",
+                           help="attach to one debug server directly")
+    telemetry.add_argument("--export", default=None, metavar="PATH",
+                           help="write a Chrome trace-event JSON file "
+                                "(about:tracing / Perfetto) instead of text")
+    telemetry.add_argument("--json", action="store_true",
+                           help="print the raw snapshot sweep as JSON")
+    telemetry.add_argument("--reset", action="store_true",
+                           help="drain counters/histograms/spans as they "
+                                "are read")
+    telemetry.add_argument("--attach-timeout", type=float, default=5.0,
+                           help="seconds to wait for the first auto-attach "
+                                "when watching a port file")
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     corpus = sub.add_parser("corpus", help="materialise a benchmark corpus")
     corpus.add_argument("profile")

@@ -338,6 +338,40 @@ class DebugClient:
     def stopped_views(self) -> List[DebugView]:
         return [v for v in self.views() if v.is_stopped]
 
+    # -- cluster-wide telemetry ---------------------------------------------------
+
+    def cluster_telemetry(self, reset: bool = False,
+                          include_client: bool = True,
+                          ringlog_limit: int = 500) -> dict:
+        """Pull the ``telemetry`` snapshot from every live session.
+
+        One round trip per debuggee; a session that dies mid-poll is
+        recorded under ``"errors"`` rather than aborting the sweep — a
+        cluster snapshot with a hole beats no snapshot during a crash.
+        The client process's own registry rides along (``"client"``) so
+        an export shows both sides of every command round trip.
+        """
+        from ..util.errors import ReproError
+        processes: Dict[int, dict] = {}
+        errors: Dict[int, str] = {}
+        for session in self.sessions():
+            try:
+                processes[session.pid] = session.request(
+                    "telemetry", {"reset": reset,
+                                  "ringlog_limit": ringlog_limit})
+            except (ReproError, OSError) as exc:
+                errors[session.pid] = f"{type(exc).__name__}: {exc}"
+        out: dict = {"processes": processes}
+        if errors:
+            out["errors"] = errors
+        if include_client:
+            from .. import obs
+            client_snap = obs.telemetry_snapshot(
+                reset=reset, ringlog_limit=ringlog_limit)
+            client_snap["program"] = "dionea-client"
+            out["client"] = client_snap
+        return out
+
     # -- Output window / process tree -------------------------------------------
 
     def output_for(self, pid: int, stream: Optional[str] = None) -> str:

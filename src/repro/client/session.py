@@ -20,6 +20,9 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from time import perf_counter as _perf_counter
+
+from ..obs import metrics as obs_metrics
 from ..server import protocol
 from ..server.sockets import connect_endpoint
 from ..util.errors import (
@@ -71,6 +74,9 @@ class DebugSession:
         self.lost_reason: Optional[str] = None
         self._server_exited = False
         self._last_pong = time.monotonic()
+        #: in-flight heartbeat send stamps, seq -> monotonic send time;
+        #: written by the heartbeat thread, popped by the reader thread
+        self._ping_sent: Dict[int, float] = {}
         #: client-side record of debugging intent, for reattach resync:
         #: server breakpoint id -> (command, args) that created it
         self._bp_log: Dict[int, tuple] = {}
@@ -206,6 +212,7 @@ class DebugSession:
         entry = _PendingRequest()
         with self._pending_lock:
             self._pending[request_id] = entry
+        t0 = _perf_counter()
         try:
             send_frame(self._command_sock,
                        protocol.make_request(request_id, command, args))
@@ -217,9 +224,15 @@ class DebugSession:
         if not entry.event.wait(deadline):
             with self._pending_lock:
                 self._pending.pop(request_id, None)
+            obs_metrics.inc("client.request_timeouts", command=command)
             raise RequestTimeoutError(
                 f"no response to {command!r} from pid {self.pid} "
                 f"within {deadline:.1f}s")
+        # Full client-observed round trip: frame encode → wire → reactor
+        # queue → dispatch → response decode.  Compare against the
+        # server's server.command_seconds to locate where time goes.
+        obs_metrics.observe("client.request_seconds",
+                            _perf_counter() - t0, command=command)
         response = entry.response
         if response is None:
             raise self._closed_error(
@@ -304,6 +317,14 @@ class DebugSession:
                 self._complete(message)
             elif mtype == "pong":
                 self._last_pong = time.monotonic()
+                sent = self._ping_sent.pop(message.get("seq"), None)
+                if sent is not None:
+                    # Heartbeat RTT doubles as a liveness latency probe:
+                    # the pong is answered inline on the reactor thread,
+                    # so this histogram IS the reactor's responsiveness
+                    # as seen from outside the debuggee.
+                    obs_metrics.observe("client.heartbeat_rtt_seconds",
+                                        time.monotonic() - sent)
             elif mtype == "event":
                 if message.get("event") == protocol.EV_SERVER_EXIT:
                     # Orderly farewell: the EOF that follows is expected.
@@ -325,6 +346,12 @@ class DebugSession:
         while not self._closed.wait(interval):
             seq += 1
             try:
+                self._ping_sent[seq] = time.monotonic()
+                if len(self._ping_sent) > 2 * self.heartbeat_misses:
+                    # A dead or stalled peer never pops entries; trim the
+                    # oldest so the in-flight map stays bounded.
+                    oldest = min(self._ping_sent)
+                    self._ping_sent.pop(oldest, None)
                 send_frame(self._command_sock, protocol.make_ping(seq))
             except OSError:
                 self.declare_lost("heartbeat ping could not be sent")

@@ -361,6 +361,74 @@ class Shell:
             return "\n".join(lines)
         raise CommandError("profile needs start/stop/report")
 
+    # -- telemetry (observability subsystem) -----------------------------------------
+
+    @staticmethod
+    def _render_metrics(snap: dict, indent: str = "") -> List[str]:
+        """Counters, gauges and histogram summaries of one snapshot."""
+        lines: List[str] = []
+        metrics = snap.get("metrics", {})
+        for name, value in sorted(metrics.get("counters", {}).items()):
+            lines.append(f"{indent}{name} = {value}")
+        for name, value in sorted(metrics.get("gauges", {}).items()):
+            lines.append(f"{indent}{name} = {value} (gauge)")
+        for name, hist in sorted(metrics.get("histograms", {}).items()):
+            n = hist.get("count", 0)
+            if not n:
+                continue
+            mean = hist.get("sum", 0.0) / n
+            lines.append(f"{indent}{name}: n={n} mean={mean * 1e3:.3f}ms "
+                         f"min={hist.get('min', 0.0) * 1e3:.3f}ms "
+                         f"max={hist.get('max', 0.0) * 1e3:.3f}ms")
+        spans = snap.get("spans", [])
+        if spans:
+            lines.append(f"{indent}{len(spans)} recorded spans")
+        return lines
+
+    def do_telemetry(self, rest: str) -> str:
+        """`telemetry [process|cluster|ue] [reset]` — observability snapshot.
+
+        ``process`` (default) polls the active session's debuggee;
+        ``cluster`` sweeps every attached debuggee plus this client;
+        ``ue`` narrows the process snapshot's spans to the active UE's
+        thread.  Append ``reset`` to drain counters as they are read.
+        """
+        parts = rest.split()
+        scope = parts[0] if parts and parts[0] in ("process", "cluster",
+                                                   "ue") else "process"
+        reset = "reset" in parts
+        if scope == "cluster":
+            sweep = self.client.cluster_telemetry(reset=reset)
+            lines: List[str] = []
+            for pid, snap in sorted(sweep["processes"].items()):
+                lines.append(f"process {pid} ({snap.get('program') or '?'}, "
+                             f"epoch {snap.get('epoch')})")
+                lines.extend(self._render_metrics(snap, indent="  "))
+            for pid, err in sorted(sweep.get("errors", {}).items()):
+                lines.append(f"process {pid}: telemetry failed: {err}")
+            client_snap = sweep.get("client")
+            if client_snap:
+                lines.append("client (this process)")
+                lines.extend(self._render_metrics(client_snap, indent="  "))
+            return "\n".join(lines) if lines else "no telemetry"
+        session = self._session()
+        snap = session.request("telemetry", {"reset": reset})
+        lines = [f"process {snap['pid']} ({snap.get('program') or '?'}, "
+                 f"epoch {snap.get('epoch')}, "
+                 f"fork generation {snap.get('fork_generation')})"]
+        if scope == "ue":
+            view = self._active()
+            tid = view.ue.tid
+            mine = [s for s in snap.get("spans", [])
+                    if s.get("tid") == tid]
+            lines.append(f"UE {view.ue}: {len(mine)} spans")
+            for s in mine[-20:]:
+                lines.append(f"  {s['name']} [{s['cat']}] "
+                             f"{s['dur'] * 1e3:.3f}ms")
+            return "\n".join(lines)
+        lines.extend(self._render_metrics(snap, indent="  "))
+        return "\n".join(lines)
+
     def do_log(self, rest: str) -> str:
         """`log [N]` — the debuggee-side debugger's internal event log."""
         limit = int(rest) if rest else 50

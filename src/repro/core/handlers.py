@@ -29,7 +29,9 @@ from __future__ import annotations
 
 from typing import Optional, TYPE_CHECKING
 
+from .. import obs
 from ..forkhooks.registry import ForkHandlerRegistry, HandlerSet
+from ..util.errors import ForkHookError
 from ..forkhooks.syncobjects import SyncObjectRegistry
 from ..server.debugserver import DebugServer
 from ..tracing.engine import TraceEngine
@@ -40,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .disturb import DisturbMode
 
 DIONEA_HANDLER_LABEL = "dionea"
+OBS_HANDLER_LABEL = "dionea-obs"
 
 
 def install_dionea_handlers(
@@ -51,6 +54,23 @@ def install_dionea_handlers(
     """Register phases A/B/C on *registry*; returns the handler set."""
 
     engine: TraceEngine = server.engine
+
+    def handle_child_obs() -> None:
+        # Telemetry fork-awareness: the child inherits the parent's
+        # metric shards and span ring, which describe threads that do
+        # not exist here and a pid that is not ours — the telemetry
+        # flavour of Fig. 4's stale metadata.  Drop them and re-label
+        # with the child's identity.  Registered BEFORE the main dionea
+        # set so it runs FIRST among child handlers: the dionea child
+        # phase's own per-hook timings then land in the child's fresh
+        # registry instead of being wiped.
+        obs.reset_after_fork(labels={"program": server.session.program})
+
+    try:  # a stale registration from an aborted install must not wedge us
+        registry.unregister(OBS_HANDLER_LABEL)
+    except ForkHookError:
+        pass
+    registry.register(OBS_HANDLER_LABEL, child=handle_child_obs)
 
     def prepare_fork() -> None:
         # A — take ownership of the debuggee's sync objects so the one
@@ -97,3 +117,7 @@ def install_dionea_handlers(
 
 def uninstall_dionea_handlers(registry: ForkHandlerRegistry) -> None:
     registry.unregister(DIONEA_HANDLER_LABEL)
+    try:
+        registry.unregister(OBS_HANDLER_LABEL)
+    except ForkHookError:
+        pass

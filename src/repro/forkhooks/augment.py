@@ -33,6 +33,8 @@ import os
 import threading
 from typing import Callable, Optional
 
+from ..obs import metrics as obs_metrics
+from ..obs.spans import SPANS
 from ..testkit import faults
 from ..util.errors import ForkHookError
 from ..util.ringlog import debug_event
@@ -125,6 +127,11 @@ class ForkPatcher:
     def _augmented_fork(self) -> int:
         """The Dionea fork of Listing 4: A, fork, then B or C."""
         registry = self.registry
+        # One span for the whole parent-side bracket (A → fork(2) → B):
+        # the window during which the debuggee is frozen by the fork
+        # protocol.  The child's copy of the open token dies with the
+        # obs fork reset, so only the parent records it.
+        bracket = SPANS.begin("fork.bracket", cat="fork")
         registry.run_prepare()  # A — may raise, aborting the fork
         try:
             # Injection point fork.os_fork: a raised OSError (EAGAIN,
@@ -134,11 +141,14 @@ class ForkPatcher:
             pid = self._original_fork()
         except BaseException:
             registry.run_parent()  # undo A; we are still the parent
+            obs_metrics.inc("fork.failures")
             raise
         if pid == 0:
             registry.run_child()  # C
             return 0
         registry.run_parent()  # B
+        bracket.end()
+        obs_metrics.inc("fork.forks")
         if self.on_child_forked is not None:
             try:
                 self.on_child_forked(pid)
@@ -163,6 +173,7 @@ class ForkPatcher:
     def _atfork_parent(self) -> None:
         if self._installed:
             self.registry.run_parent()
+            obs_metrics.inc("fork.forks")
 
     def _atfork_child(self) -> None:
         if self._installed:

@@ -29,12 +29,30 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Callable, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..util.errors import ForkHookError
 from ..util.ringlog import debug_event
 
 Handler = Callable[[], None]
+
+
+def _timed(phase: str, label: str, handler: Handler) -> None:
+    """Run one phase callback, recording its duration per hook.
+
+    Fork-handler latency is a first-class §7 quantity: every phase runs
+    with the debuggee wholly or partly stopped (prepare holds every sync
+    object), so a slow hook is invisible intrusion.  The histogram is
+    per (phase, label) so a misbehaving registration is attributable.
+    """
+    t0 = _perf_counter()
+    try:
+        handler()
+    finally:
+        obs_metrics.observe(f"fork.{phase}_seconds",
+                            _perf_counter() - t0, label=label)
 
 
 @dataclass(frozen=True)
@@ -131,7 +149,7 @@ class ForkHandlerRegistry:
                 prepared.append(handler_set)
                 continue
             try:
-                handler_set.prepare()
+                _timed("prepare", handler_set.label, handler_set.prepare)
             except BaseException as exc:
                 debug_event("forkhooks",
                             f"prepare handler {handler_set.label!r} raised "
@@ -160,7 +178,7 @@ class ForkHandlerRegistry:
             if handler_set.parent is None:
                 continue
             try:
-                handler_set.parent()
+                _timed("parent", handler_set.label, handler_set.parent)
             except BaseException as exc:  # noqa: BLE001
                 self._record_failure(handler_set.label, "parent", exc)
 
@@ -170,7 +188,7 @@ class ForkHandlerRegistry:
             if handler_set.child is None:
                 continue
             try:
-                handler_set.child()
+                _timed("child", handler_set.label, handler_set.child)
             except BaseException as exc:  # noqa: BLE001
                 self._record_failure(handler_set.label, "child", exc)
 
@@ -192,7 +210,13 @@ def run_around_fork(registry: ForkHandlerRegistry,
     call, standing in for ``fork(2)`` failing (EAGAIN/ENOMEM) at the
     worst moment.
     """
+    from ..obs.spans import SPANS
     from ..testkit import faults
+    # The whole parent-side bracket (prepare → fork(2) → parent phase)
+    # is one span: it is the window during which the debuggee is frozen
+    # by the fork protocol.  The child's copy of the open token dies
+    # with the obs fork reset, so only the parent records it.
+    bracket = SPANS.begin("fork.bracket", cat="fork")
     registry.run_prepare()
     try:
         faults.maybe_fault("fork.os_fork")
@@ -201,9 +225,12 @@ def run_around_fork(registry: ForkHandlerRegistry,
         # fork itself failed: the parent still holds everything prepare
         # acquired; release it as if we were the (only) surviving parent.
         registry.run_parent()
+        obs_metrics.inc("fork.failures")
         raise
     if pid == 0:
         registry.run_child()
         return pid, True
     registry.run_parent()
+    bracket.end()
+    obs_metrics.inc("fork.forks")
     return pid, False

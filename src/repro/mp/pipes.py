@@ -27,6 +27,7 @@ import threading
 import time
 from typing import Any, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..testkit import faults
 from ..util.errors import QueueClosed
 from . import reduction
@@ -99,6 +100,7 @@ class Connection:
         if self._closed or self._write_fd is None:
             raise QueueClosed(f"{self.label} is not writable")
         faults.maybe_fault("mp.conn.send")
+        obs_metrics.inc("mp.pipe.send_ops")
         with self._send_lock:
             return reduction.send_obj(self._write_fd, obj)
 
@@ -106,6 +108,7 @@ class Connection:
         if self._closed or self._read_fd is None:
             raise QueueClosed(f"{self.label} is not readable")
         faults.maybe_fault("mp.conn.recv")
+        obs_metrics.inc("mp.pipe.recv_ops")
         with self._recv_lock:
             return reduction.recv_obj(self._read_fd)
 

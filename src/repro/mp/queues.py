@@ -28,6 +28,7 @@ import queue as _stdlib_queue
 import threading
 from typing import Any, Optional
 
+from ..obs import metrics as obs_metrics
 from ..util.errors import QueueClosed
 from ..util.ids import UEId
 from . import reduction
@@ -72,6 +73,7 @@ class Queue:
         if self._slots is not None:
             if not self._slots.acquire(blocking=block, timeout=timeout):
                 raise _stdlib_queue.Full(self.name)
+        obs_metrics.inc("mp.queue.put_ops")
         payload = reduction.dumps(obj)
         with self._wlock:
             # Release the item token BEFORE writing the frame: a frame
@@ -102,6 +104,7 @@ class Queue:
         # (with the user's source line) to the deadlock detector.
         if not self._items.acquire(blocking=block, timeout=timeout):
             raise _stdlib_queue.Empty(self.name)
+        obs_metrics.inc("mp.queue.get_ops")
         try:
             with self._rlock:
                 obj = reduction.recv_obj(self._read_fd)

@@ -1,0 +1,74 @@
+"""repro.obs — fork-aware telemetry for the debugger itself.
+
+The paper promises *low intrusion* (§3); this package is how we keep
+that promise measurable instead of asserted.  Three layers:
+
+* :mod:`repro.obs.metrics` — lock-light counters / gauges / fixed-bucket
+  histograms with per-thread shards, merged only on snapshot;
+* :mod:`repro.obs.spans` — a begin/end span flight-recorder on a
+  RingLog-style ring, stamped with wall+monotonic clock pairs;
+* :mod:`repro.obs.export` — merges per-process telemetry snapshots into
+  one Chrome trace-event JSON (``about:tracing`` / Perfetto).
+
+Everything is process-global (one registry + one span ring per process,
+like the global ring log) and fork-aware: the obs fork handler
+registered by :mod:`repro.core.handlers` snapshots-and-resets the
+child's registry and re-labels it with the child's pid and session
+epoch, so per-process numbers stay honest across the fork chain.
+
+The ``telemetry`` protocol command returns :func:`telemetry_snapshot`;
+``DebugClient.cluster_telemetry`` aggregates it across every live
+session.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from .export import chrome_trace, validate_trace, write_chrome_trace
+from .metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    enabled,
+    inc,
+    labeled,
+    observe,
+    register_gauge,
+    set_enabled,
+    set_gauge,
+)
+from .spans import SPANS, SpanRecorder, span
+
+__all__ = [
+    "REGISTRY", "MetricsRegistry", "SPANS", "SpanRecorder",
+    "chrome_trace", "enabled", "inc", "labeled", "observe",
+    "register_gauge", "reset_after_fork", "set_enabled", "set_gauge",
+    "span", "telemetry_snapshot", "validate_trace", "write_chrome_trace",
+]
+
+
+def telemetry_snapshot(reset: bool = False,
+                       ringlog_limit: int = 500) -> Dict[str, Any]:
+    """One process's full telemetry view, JSON-ready.
+
+    The ``clock`` anchor (wall + monotonic, captured together) is what
+    lets the exporter place this process's monotonic stamps on a shared
+    wall-clock timeline.  With ``reset``, counters/histograms/spans are
+    drained after being read (the ring log is left alone — it is the
+    debugger's black box, owned by the `debug_log` command).
+    """
+    from ..util.ringlog import GLOBAL_LOG
+    records = GLOBAL_LOG.snapshot()[-ringlog_limit:]
+    return {
+        "clock": {"wall": time.time(), "mono": time.monotonic()},
+        "metrics": REGISTRY.snapshot(reset=reset),
+        "spans": SPANS.snapshot(reset=reset),
+        "ringlog": [r.to_dict() for r in records],
+    }
+
+
+def reset_after_fork(labels: Optional[Dict[str, Any]] = None) -> None:
+    """Child-side fork handler body: fresh registry + ring, child labels."""
+    REGISTRY.reset_after_fork(labels=labels)
+    SPANS.reset_after_fork()

@@ -1,0 +1,162 @@
+"""Chrome trace-event export: one timeline for the whole fork tree.
+
+Takes the per-process telemetry snapshots the `telemetry` command
+returns (metrics + spans + ring-log records, each stamped with a
+wall/monotonic clock pair) and merges them into a single JSON document
+in the Chrome trace-event format, loadable in ``about:tracing`` or
+Perfetto.
+
+Cross-process time alignment uses each snapshot's **clock anchor**
+(``{"wall": time.time(), "mono": time.monotonic()}`` taken at snapshot
+time): an event recorded at monotonic ``m`` maps to wall time
+``anchor_wall - (anchor_mono - m)``.  Wall clocks are only trusted for
+the anchor instant — every offset within a process comes from its
+monotonic clock, so an NTP step mid-run skews one anchor, not every
+record (the multi-process-merge fix of this PR's RingLog satellite).
+
+Reference: the Trace Event Format spec (Chromium catapult project).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+
+def _anchor_us(snapshot: Dict[str, Any], mono: float) -> float:
+    """Map a monotonic stamp from *snapshot*'s process to wall-clock µs."""
+    clock = snapshot.get("clock") or {}
+    anchor_wall = clock.get("wall")
+    anchor_mono = clock.get("mono")
+    if anchor_wall is None or anchor_mono is None:
+        return mono * 1e6  # degenerate: no anchor, monotonic-only trace
+    return (anchor_wall - (anchor_mono - mono)) * 1e6
+
+
+def chrome_trace(snapshots: Iterable[Dict[str, Any]],
+                 client_snapshot: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """Merge telemetry *snapshots* into one trace-event document.
+
+    Each snapshot is the result of the ``telemetry`` protocol command:
+    pid / program / fork_generation identity, a clock anchor, a metrics
+    snapshot, a span list and a ring-log excerpt.  *client_snapshot*
+    optionally adds the client process's own telemetry under a
+    synthetic "client" process.
+    """
+    events: List[Dict[str, Any]] = []
+    all_snapshots = list(snapshots)
+    if client_snapshot is not None:
+        client_snapshot = dict(client_snapshot)
+        client_snapshot.setdefault("program", "debug client")
+        all_snapshots.append(client_snapshot)
+
+    for snap in all_snapshots:
+        pid = snap.get("pid") or (snap.get("metrics") or {}).get(
+            "labels", {}).get("pid", 0)
+        program = snap.get("program") or "debuggee"
+        generation = snap.get("fork_generation")
+        name = f"{program} (pid {pid}"
+        if generation is not None:
+            name += f", gen {generation}"
+        name += ")"
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+
+        # Spans → complete ("X") events.
+        for span in snap.get("spans") or []:
+            event = {
+                "name": span["name"],
+                "cat": span.get("cat", "debug"),
+                "ph": "X",
+                "ts": _anchor_us(snap, span["mono"]),
+                "dur": max(span.get("dur", 0.0), 0.0) * 1e6,
+                "pid": span.get("pid", pid),
+                "tid": span.get("tid", 0),
+            }
+            if span.get("args"):
+                event["args"] = span["args"]
+            events.append(event)
+
+        # Ring-log records → instant ("i") events.
+        for record in snap.get("ringlog") or []:
+            events.append({
+                "name": record.get("message", ""),
+                "cat": record.get("category", "log"),
+                "ph": "i",
+                "s": "t",
+                "ts": _anchor_us(snap, record["mono"]),
+                "pid": record.get("pid", pid),
+                "tid": record.get("tid", 0),
+            })
+
+        # Counters → one "C" sample at the snapshot instant.
+        metrics = snap.get("metrics") or {}
+        clock = snap.get("clock") or {}
+        snap_ts = (clock.get("wall", 0.0)) * 1e6
+        for key, value in sorted((metrics.get("counters") or {}).items()):
+            events.append({"name": key, "ph": "C", "ts": snap_ts,
+                           "pid": pid, "tid": 0,
+                           "args": {"value": value}})
+
+    # Normalise to a small time origin so viewers show offsets, not
+    # epoch microseconds; guard against an empty trace.
+    stamped = [e for e in events if "ts" in e]
+    if stamped:
+        origin = min(e["ts"] for e in stamped)
+        for event in stamped:
+            event["ts"] = round(event["ts"] - origin, 3)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "processes": sorted({s.get("pid", 0) for s in all_snapshots}),
+        },
+    }
+
+
+def write_chrome_trace(path: str, snapshots: Iterable[Dict[str, Any]],
+                       client_snapshot: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+    """Export and write the trace JSON to *path*; returns the document."""
+    document = chrome_trace(snapshots, client_snapshot=client_snapshot)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+    return document
+
+
+def validate_trace(document: Dict[str, Any]) -> List[str]:
+    """Schema check for the exported document (used by tests and the
+    CLI): returns a list of problems, empty when the trace is valid."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "C", "M"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if ph != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event {i}: missing ts")
+            if event.get("ts", 0) < 0:
+                problems.append(f"event {i}: negative ts")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"event {i}: X event without dur")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"event {i}: missing pid")
+    try:
+        json.dumps(document)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"document is not JSON-serializable: {exc}")
+    return problems

@@ -1,0 +1,139 @@
+"""Span flight-recorder: begin/end intervals on a RingLog-style ring.
+
+Where :mod:`repro.util.ringlog` answers "what happened", the span
+recorder answers "how long did it take and when, relative to everything
+else" — fork-handler phases, command round trips, parked-UE dwell times
+— in a shape the Chrome trace-event exporter (:mod:`repro.obs.export`)
+can lay out on a cross-process timeline.
+
+Same hot-path discipline as the ring logger: a completed span is one
+tuple appended into a fixed-size ring under a single short critical
+section; nothing is formatted, nothing allocated beyond the record, no
+I/O.  Every record carries a **wall + monotonic timestamp pair** so the
+exporter can merge rings from many processes without trusting any one
+process's wall clock (NTP slew, clock steps).
+
+A forked child inherits the parent's ring; its spans describe the
+parent's timeline, so the child's fork handler calls
+:meth:`SpanRecorder.reset_after_fork`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _OpenSpan:
+    """Token returned by :meth:`SpanRecorder.begin`; finish it with
+    :meth:`SpanRecorder.end` or use it as a context manager."""
+
+    __slots__ = ("recorder", "name", "cat", "t0_wall", "t0_mono", "args")
+
+    def __init__(self, recorder: "SpanRecorder", name: str, cat: str,
+                 args: Optional[Dict[str, Any]]):
+        self.recorder = recorder
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.t0_wall = time.time()
+        self.t0_mono = time.monotonic()
+
+    def end(self) -> None:
+        self.recorder.end(self)
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.end()
+
+
+class SpanRecorder:
+    """Fixed-capacity ring of completed spans (the flight recorder)."""
+
+    def __init__(self, capacity: int = 2048):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._records: List[Optional[tuple]] = [None] * capacity
+        self._next_seq = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- recording --------------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "debug",
+              **args: Any) -> _OpenSpan:
+        """Open a span; stamp taken now, recorded at :meth:`end`."""
+        return _OpenSpan(self, name, cat, args or None)
+
+    def span(self, name: str, cat: str = "debug", **args: Any) -> _OpenSpan:
+        """Context-manager sugar: ``with spans.span("fork.child"): ...``"""
+        return self.begin(name, cat, **args)
+
+    def end(self, token: _OpenSpan) -> None:
+        duration = time.monotonic() - token.t0_mono
+        self.record(token.name, token.cat, token.t0_wall, token.t0_mono,
+                    duration, token.args)
+
+    def record(self, name: str, cat: str, t0_wall: float, t0_mono: float,
+               duration: float,
+               args: Optional[Dict[str, Any]] = None) -> None:
+        """Append one completed span (already-timed path)."""
+        entry = (name, cat, os.getpid(), threading.get_ident(),
+                 t0_wall, t0_mono, duration, args)
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            self._records[seq % self._capacity] = entry
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self, reset: bool = False) -> List[Dict[str, Any]]:
+        """Retained spans, oldest first, as JSON-ready dicts."""
+        with self._lock:
+            total = self._next_seq
+            start = max(0, total - self._capacity)
+            rows = [self._records[s % self._capacity]
+                    for s in range(start, total)]
+            if reset:
+                self._records = [None] * self._capacity
+                self._next_seq = 0
+        out = []
+        for row in rows:
+            if row is None:
+                continue
+            name, cat, pid, tid, wall, mono, dur, args = row
+            record = {"name": name, "cat": cat, "pid": pid, "tid": tid,
+                      "wall": wall, "mono": mono, "dur": dur}
+            if args:
+                record["args"] = dict(args)
+            out.append(record)
+        return out
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return max(0, self._next_seq - self._capacity)
+
+    def reset_after_fork(self) -> None:
+        """Child fork handler: inherited spans are the parent's timeline."""
+        with self._lock:
+            self._records = [None] * self._capacity
+            self._next_seq = 0
+
+
+#: Process-global flight recorder, exported by the `telemetry` command
+#: and reset in forked children alongside the metrics registry.
+SPANS = SpanRecorder()
+
+
+def span(name: str, cat: str = "debug", **args: Any) -> _OpenSpan:
+    """Record one span on the global flight recorder."""
+    return SPANS.span(name, cat, **args)

@@ -370,7 +370,9 @@ def cmd_profile_stop(server: "DebugServer", args: Dict[str, Any]) -> Any:
         raise CommandError("profiler was never started")
     server.profiler.stop()
     return {"running": False,
-            "total_sweeps": server.profiler.total_samples}
+            "total_sweeps": server.profiler.total_samples,
+            "skipped_passes": server.profiler.skipped_passes,
+            "achieved_hz": round(server.profiler.achieved_rate_hz, 2)}
 
 
 @command("profile_report")
@@ -379,6 +381,28 @@ def cmd_profile_report(server: "DebugServer",
     if server.profiler is None:
         raise CommandError("profiler was never started")
     return server.profiler.to_wire(top=int(args.get("top", 20)))
+
+
+@command("telemetry")
+def cmd_telemetry(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """One process's full observability snapshot (metrics, spans, log).
+
+    ``reset=True`` atomically drains the metric shards and span ring as
+    they are read — the next snapshot then covers only the interval
+    since this one (rate measurement without client-side bookkeeping).
+    The ring log is never drained: it is the flight recorder, and a
+    telemetry poll must not eat the crash evidence.
+    """
+    from .. import obs
+    reset = bool(args.get("reset", False))
+    limit = int(args.get("ringlog_limit", 500))
+    snap = obs.telemetry_snapshot(reset=reset, ringlog_limit=limit)
+    snap["pid"] = server.session.pid
+    snap["program"] = server.session.program
+    snap["epoch"] = server.session.epoch
+    snap["fork_generation"] = server.session.fork_generation
+    snap["session_token"] = server.session.session_token
+    return snap
 
 
 @command("debug_log")

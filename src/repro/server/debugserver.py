@@ -30,6 +30,10 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from time import perf_counter as _perf_counter
+
+from ..obs import metrics as obs_metrics
+from ..obs.spans import SPANS
 from ..testkit import faults
 from ..tracing.breakpoints import BreakpointStore
 from ..tracing.control import UEController
@@ -284,17 +288,30 @@ class DebugServer:
 
     def _handle_request(self, conn: Connection, message: dict) -> None:
         request_id = message["id"]
-        try:
-            # Injection point server.request.dispatch: a `delay` fault
-            # freezes the reactor mid-request (the client's per-request
-            # deadline must fire); `kill`/`exit` faults die mid-request
-            # (the client must surface session loss, not hang).
-            faults.maybe_fault("server.request.dispatch")
-            result = dispatch(self, message["command"], message["args"])
-        except CommandError as exc:
-            conn.send(protocol.make_error(request_id, str(exc)))
-            return
-        conn.send(protocol.make_response(request_id, result))
+        command_name = message["command"]
+        # Server-side half of the command round trip: time from the frame
+        # being decoded to the response handed to the socket.  The client
+        # times the full round trip; the difference is the wire+queueing
+        # cost, which is what §7's intrusion argument is about.
+        obs_metrics.inc("server.commands", command=command_name)
+        t0 = _perf_counter()
+        with SPANS.span(f"cmd:{command_name}", cat="command"):
+            try:
+                # Injection point server.request.dispatch: a `delay` fault
+                # freezes the reactor mid-request (the client's per-request
+                # deadline must fire); `kill`/`exit` faults die mid-request
+                # (the client must surface session loss, not hang).
+                faults.maybe_fault("server.request.dispatch")
+                result = dispatch(self, command_name, message["args"])
+            except CommandError as exc:
+                obs_metrics.observe("server.command_seconds",
+                                    _perf_counter() - t0,
+                                    command=command_name)
+                conn.send(protocol.make_error(request_id, str(exc)))
+                return
+            conn.send(protocol.make_response(request_id, result))
+        obs_metrics.observe("server.command_seconds",
+                            _perf_counter() - t0, command=command_name)
 
     # -- engine callbacks ------------------------------------------------------------------
 

@@ -22,6 +22,9 @@ import selectors
 import threading
 from typing import Callable, Dict, List, Optional
 
+from time import perf_counter as _perf_counter
+
+from ..obs import metrics as obs_metrics
 from ..testkit import faults
 from ..util.errors import FramingError, ProtocolError
 from ..util.ringlog import debug_event
@@ -116,11 +119,20 @@ class Listener:
         try:
             while not self._stop.is_set():
                 events = self._selector.select(timeout=0.05)
+                if not events:
+                    continue
+                # Reactor loop lag: how long one batch of ready events
+                # holds the single-threaded loop.  Every other client
+                # request queues behind this — it IS the server-side
+                # latency floor the §4 non-blocking rule protects.
+                tick_start = _perf_counter()
                 for key, _mask in events:
                     if key.data == "accept":
                         self._handle_accept()
                     else:
                         self._handle_readable(key.data)
+                obs_metrics.observe("server.reactor_tick_seconds",
+                                    _perf_counter() - tick_start)
         finally:
             try:
                 self._selector.close()

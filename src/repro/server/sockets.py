@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from ..obs import metrics as obs_metrics
 from ..testkit import faults
 from ..util.errors import ProtocolError
 from ..util.framing import FrameDecoder, encode_frame
@@ -71,6 +72,8 @@ class Connection:
                 # marked dead, never propagate into a trace callback.
                 faults.maybe_fault("server.conn.send")
                 self.sock.sendall(frame)
+                obs_metrics.inc("proto.tx_frames")
+                obs_metrics.inc("proto.tx_bytes", len(frame))
                 return True
             except OSError:
                 self._closed = True

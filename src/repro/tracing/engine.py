@@ -30,8 +30,12 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs.spans import SPANS
 from ..util.errors import TraceError
 from ..util.ids import UEId
 from ..util.ringlog import debug_event
@@ -45,7 +49,8 @@ from .stepping import StepMode, StepState
 #: substrates (repro.mp, repro.mapreduce, repro.workerpool, repro.corpus)
 #: are deliberately NOT listed: the paper's Fig. 8 shows Dionea stepping
 #: through multiprocessing queue internals.
-_SELF_PACKAGES = ("tracing", "server", "client", "core", "util", "forkhooks")
+_SELF_PACKAGES = ("tracing", "server", "client", "core", "util",
+                  "forkhooks", "obs")
 
 
 def _self_prefixes() -> Tuple[str, ...]:
@@ -121,6 +126,11 @@ class TraceEngine:
             self._installed = True
         threading.settrace(self._global_dispatch)
         sys.settrace(self._global_dispatch)
+        # Expose the fast-path event counter as a callback gauge: the
+        # no-breakpoint fast path stays untouched (§7's overhead band);
+        # the registry reads `event_count` only at snapshot time.
+        obs_metrics.register_gauge("trace.events",
+                                   lambda: self.event_count)
         debug_event("tracing", "engine installed")
 
     def uninstall(self) -> None:
@@ -130,6 +140,7 @@ class TraceEngine:
             self._installed = False
         sys.settrace(None)
         threading.settrace(None)  # type: ignore[arg-type]
+        obs_metrics.REGISTRY.unregister_gauge("trace.events")
         self.controller.release_all()
         debug_event("tracing", "engine uninstalled")
 
@@ -263,6 +274,7 @@ class TraceEngine:
 
     def _slow_dispatch(self, frame, event, arg):
         """Some debugging feature is live: full per-UE processing."""
+        obs_metrics.inc("trace.slow_events")
         filename = frame.f_code.co_filename
         ue = UEId(os.getpid(), threading.get_ident())
         state = self.state_for(ue)
@@ -325,9 +337,15 @@ class TraceEngine:
             elif state.should_stop_on_line(frame):
                 self._pause(ue, frame, reason="step")
             else:
+                t0 = _perf_counter()
                 bp = self.breakpoints.effective(
                     self._canonical_file(frame.f_code.co_filename),
                     frame.f_lineno, frame.f_globals, frame.f_locals)
+                # Per-line dispatch latency while features are live (the
+                # no-feature fast path never reaches here, so the §7
+                # band pays nothing for this observe).
+                obs_metrics.observe("trace.line_dispatch_seconds",
+                                    _perf_counter() - t0)
                 if bp is not None:
                     self._pause(ue, frame, reason="breakpoint",
                                 breakpoint_id=bp.id)
@@ -396,9 +414,15 @@ class TraceEngine:
                 self.on_stop(ue, capture)
             except Exception:  # noqa: BLE001 - client glue must not kill UE
                 debug_event("tracing", f"on_stop callback failed for {ue}")
+        obs_metrics.inc("trace.pauses", reason=reason)
+        parked = SPANS.begin(f"parked:{reason}", cat="tracing",
+                             pid=ue.pid, tid=ue.tid)
         try:
             command = gate.await_release(timeout=self.park_timeout)
         finally:
+            parked.end()
+            obs_metrics.observe("trace.park_seconds",
+                                time.monotonic() - parked.t0_mono)
             with self._lock:
                 self._paused_frames.pop(ue, None)
         self._apply_command(state, frame, command)

@@ -59,7 +59,15 @@ class SamplingProfiler:
         self._profiles: Dict[UEId, UEProfile] = {}
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        #: sweeps that recorded at least one UE.  Passes where every
+        #: thread was skipped (all debugger infra) do NOT count here —
+        #: they would inflate any rate/share arithmetic — and are
+        #: tallied separately in :attr:`skipped_passes`.
         self.total_samples = 0
+        self.skipped_passes = 0
+        #: sampling-wall bookkeeping for the achieved-rate report
+        self._started_mono: Optional[float] = None
+        self._elapsed = 0.0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -99,18 +107,42 @@ class SamplingProfiler:
         untrace_current_thread()
         my_tid = threading.get_ident()
         pid = os.getpid()
+        # Schedule against a monotonic deadline, not "interval after each
+        # pass": sleeping a full interval *after* a non-trivial sampling
+        # pass makes the real period interval + pass-cost, so the
+        # achieved rate silently drifts below the requested one.  With a
+        # deadline, pass cost eats into the wait instead of extending it;
+        # if a pass overruns whole periods, the missed slots are skipped
+        # (never bunched) and the achieved-rate report shows the truth.
+        start = time.monotonic()
+        deadline = start + self.interval
+        with self._lock:
+            self._started_mono = start
         while not self._stop.is_set():
             skip = self._debugger_tids() if self.skip_debugger_threads \
                 else set()
             skip.add(my_tid)
             frames = sys._current_frames()
             with self._lock:
-                self.total_samples += 1
+                recorded = 0
                 for tid, frame in frames.items():
                     if tid in skip:
                         continue
                     self._record(UEId(pid, tid), frame)
-            self._stop.wait(self.interval)
+                    recorded += 1
+                if recorded:
+                    self.total_samples += 1
+                else:
+                    self.skipped_passes += 1
+                self._elapsed = time.monotonic() - start
+            now = time.monotonic()
+            if deadline <= now:  # overran: jump past the missed slots
+                missed = int((now - deadline) / self.interval) + 1
+                deadline += missed * self.interval
+            self._stop.wait(deadline - now)
+            deadline += self.interval
+        with self._lock:
+            self._elapsed = time.monotonic() - start
 
     def _record(self, ue: UEId, frame) -> None:
         profile = self._profiles.get(ue)
@@ -145,10 +177,23 @@ class SamplingProfiler:
         with self._lock:
             return self._profiles.get(ue, UEProfile())
 
+    @property
+    def achieved_rate_hz(self) -> float:
+        """Real sweeps/second over the sampling wall (vs. the requested
+        ``1 / interval``); the drift the deadline scheduler bounds."""
+        with self._lock:
+            sweeps = self.total_samples + self.skipped_passes
+            elapsed = self._elapsed
+        if elapsed <= 0:
+            return 0.0
+        return sweeps / elapsed
+
     def reset(self) -> None:
         with self._lock:
             self._profiles.clear()
             self.total_samples = 0
+            self.skipped_passes = 0
+            self._elapsed = 0.0
 
     def render(self, top: int = 8) -> str:
         """Flat per-UE report, hottest self-time frames first."""
@@ -157,7 +202,9 @@ class SamplingProfiler:
             profiles = dict(self._profiles)
             total = self.total_samples
         lines.append(f"sampling profile: {total} sweeps, "
-                     f"interval {self.interval * 1000:.1f} ms")
+                     f"interval {self.interval * 1000:.1f} ms "
+                     f"(requested {1.0 / self.interval:.1f} Hz, "
+                     f"achieved {self.achieved_rate_hz:.1f} Hz)")
         for ue in sorted(profiles):
             profile = profiles[ue]
             lines.append(f"{ue}: {profile.samples} samples")
@@ -182,5 +229,8 @@ class SamplingProfiler:
                 ],
             }
         return {"total_sweeps": self.total_samples,
+                "skipped_passes": self.skipped_passes,
                 "interval_ms": self.interval * 1000,
+                "requested_hz": 1.0 / self.interval,
+                "achieved_hz": round(self.achieved_rate_hz, 2),
                 "profiles": out}

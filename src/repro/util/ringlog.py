@@ -24,16 +24,33 @@ from typing import List, Optional
 
 @dataclass(frozen=True)
 class LogRecord:
+    """One ring entry, stamped with a wall + monotonic clock **pair**.
+
+    ``timestamp`` (wall clock) alone is unusable for merging records
+    across processes: it can step backwards under NTP slew and two
+    processes' wall clocks need not agree.  ``mono`` never goes
+    backwards within a process, so exporters align records via a
+    per-process anchor pair and only trust the wall clock for the
+    anchor instant (see repro.obs.export).
+    """
+
     seq: int
-    timestamp: float
+    timestamp: float  # wall clock (time.time())
+    mono: float       # monotonic clock (time.monotonic())
     pid: int
     tid: int
     category: str
     message: str
 
     def format(self) -> str:
-        return (f"[{self.seq:06d} {self.timestamp:.6f} "
+        return (f"[{self.seq:06d} {self.mono:.6f} "
                 f"{self.pid}.{self.tid} {self.category}] {self.message}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready shape used by the `telemetry` command / exporter."""
+        return {"seq": self.seq, "timestamp": self.timestamp,
+                "mono": self.mono, "pid": self.pid, "tid": self.tid,
+                "category": self.category, "message": self.message}
 
 
 class RingLog:
@@ -54,7 +71,8 @@ class RingLog:
     def emit(self, category: str, message: str) -> None:
         record = LogRecord(
             seq=0,  # patched under the lock
-            timestamp=time.monotonic(),
+            timestamp=time.time(),
+            mono=time.monotonic(),
             pid=os.getpid(),
             tid=threading.get_ident(),
             category=category,

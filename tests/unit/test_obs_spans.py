@@ -1,0 +1,96 @@
+"""Unit tests: the span flight-recorder (repro.obs.spans)."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.obs.spans import SpanRecorder
+
+
+class TestRecording:
+    def test_begin_end_records_duration(self):
+        rec = SpanRecorder(capacity=16)
+        token = rec.begin("work", cat="test")
+        time.sleep(0.01)
+        token.end()
+        (span,) = rec.snapshot()
+        assert span["name"] == "work"
+        assert span["cat"] == "test"
+        assert span["dur"] >= 0.01
+        assert span["pid"] == os.getpid()
+        assert span["tid"] == threading.get_ident()
+
+    def test_context_manager(self):
+        rec = SpanRecorder(capacity=4)
+        with rec.span("cm", cat="test", key="v"):
+            pass
+        (span,) = rec.snapshot()
+        assert span["name"] == "cm"
+        assert span["args"] == {"key": "v"}
+
+    def test_wall_and_mono_pair_recorded(self):
+        rec = SpanRecorder(capacity=4)
+        before_wall, before_mono = time.time(), time.monotonic()
+        with rec.span("clocks"):
+            pass
+        (span,) = rec.snapshot()
+        assert span["wall"] >= before_wall - 1.0
+        assert span["mono"] >= before_mono - 1.0
+        assert "dur" in span
+
+    def test_ring_overflow_keeps_newest(self):
+        rec = SpanRecorder(capacity=4)
+        for i in range(10):
+            rec.record(f"s{i}", "test", time.time(), time.monotonic(), 0.0)
+        names = [s["name"] for s in rec.snapshot()]
+        assert names == ["s6", "s7", "s8", "s9"]
+        assert rec.dropped == 6
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+
+class TestReset:
+    def test_snapshot_reset_drains(self):
+        rec = SpanRecorder(capacity=8)
+        with rec.span("a"):
+            pass
+        assert len(rec.snapshot(reset=True)) == 1
+        assert rec.snapshot() == []
+
+    def test_reset_after_fork_clears_inherited_timeline(self):
+        rec = SpanRecorder(capacity=8)
+        with rec.span("parent-era"):
+            pass
+        rec.reset_after_fork()
+        assert rec.snapshot() == []
+        assert rec.dropped == 0
+        with rec.span("child-era"):
+            pass
+        assert [s["name"] for s in rec.snapshot()] == ["child-era"]
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_all_complete(self):
+        rec = SpanRecorder(capacity=4096)
+        n_threads, n_spans = 6, 200
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            barrier.wait()
+            for j in range(n_spans):
+                with rec.span(f"t{i}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        spans = rec.snapshot()
+        assert len(spans) == n_threads * n_spans
+        assert rec.dropped == 0

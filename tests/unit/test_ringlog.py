@@ -26,6 +26,28 @@ class TestBasics:
         text = log.snapshot()[0].format()
         assert "tracing" in text and "hello" in text
 
+    def test_records_carry_wall_and_mono_clock_pair(self):
+        """Cross-process trace merging needs both clocks per record:
+        wall for the anchor, monotonic for every offset (NTP-robust)."""
+        import time
+        wall_before, mono_before = time.time(), time.monotonic()
+        log = RingLog()
+        log.emit("c", "stamped")
+        wall_after, mono_after = time.time(), time.monotonic()
+        record = log.snapshot()[0]
+        assert wall_before <= record.timestamp <= wall_after
+        assert mono_before <= record.mono <= mono_after
+
+    def test_to_dict_is_json_ready(self):
+        import json
+        log = RingLog()
+        log.emit("server", "wire me")
+        d = log.snapshot()[0].to_dict()
+        json.dumps(d)
+        assert d["message"] == "wire me"
+        assert d["category"] == "server"
+        assert {"seq", "timestamp", "mono", "pid", "tid"} <= set(d)
+
 
 class TestRingSemantics:
     def test_overwrites_oldest(self):

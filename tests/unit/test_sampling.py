@@ -117,7 +117,70 @@ class TestSampling:
             time.sleep(0.05)
         profiler.reset()
         assert profiler.total_samples == 0
+        assert profiler.skipped_passes == 0
         assert profiler.profiles() == {}
+
+
+class TestScheduling:
+    def test_achieved_rate_tracks_requested_rate(self):
+        """Deadline scheduling bounds drift: the old interval-after-pass
+        scheduler achieved 1/(interval + pass_cost) Hz — every sweep's
+        cost pushed the next one later.  Against a monotonic deadline,
+        pass cost eats into the wait instead, so on a quiet process the
+        achieved rate must come out close to the requested one."""
+        with SamplingProfiler(interval=0.01) as profiler:
+            time.sleep(0.5)
+        requested = 1.0 / profiler.interval
+        assert profiler.achieved_rate_hz == pytest.approx(requested,
+                                                          rel=0.25)
+
+    def test_achieved_rate_zero_before_running(self):
+        profiler = SamplingProfiler(interval=0.005)
+        assert profiler.achieved_rate_hz == 0.0
+
+    def test_skipped_passes_counted_separately(self):
+        """A sweep seeing only debugger threads records no UE: it must
+        land in skipped_passes, not inflate total_samples."""
+        done = threading.Event()
+
+        def infra():
+            while not done.is_set():
+                time.sleep(0.001)
+
+        # Rename the main thread so every thread in the process looks
+        # like debugger infrastructure to the sampler.
+        main = threading.current_thread()
+        saved = main.name
+        main.name = "dionea-test-main"
+        extra = threading.Thread(target=infra, name="dionea-fake-extra")
+        extra.start()
+        try:
+            with SamplingProfiler(interval=0.002) as profiler:
+                time.sleep(0.1)
+            assert profiler.total_samples == 0
+            assert profiler.skipped_passes > 0
+        finally:
+            main.name = saved
+            done.set()
+            extra.join(5)
+
+    def test_total_samples_requires_a_recorded_ue(self):
+        """The normal case: the (unrenamed) main thread is sampled, so
+        sweeps count as samples and the rate report is consistent."""
+        with SamplingProfiler(interval=0.002) as profiler:
+            time.sleep(0.1)
+        assert profiler.total_samples > 0
+        wire = profiler.to_wire()
+        assert wire["total_sweeps"] == profiler.total_samples
+        assert wire["skipped_passes"] == profiler.skipped_passes
+        assert wire["requested_hz"] == pytest.approx(500.0)
+        assert wire["achieved_hz"] > 0
+
+    def test_render_reports_achieved_rate(self):
+        with SamplingProfiler(interval=0.002) as profiler:
+            time.sleep(0.05)
+        text = profiler.render()
+        assert "requested" in text and "achieved" in text
 
 
 class TestReports:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Hot-path import lint: no ``logging`` in the low-intrusion packages.
+
+The stdlib ``logging`` module takes a module-level lock on every emit,
+formats eagerly and may do I/O under that lock — every one of which
+violates the hot-path discipline that :mod:`repro.util.ringlog` and
+:mod:`repro.obs` exist to uphold (§3's low-intrusion promise applied to
+the debugger's own internals).  A single stray ``import logging`` in the
+tracing, fork-hook, mp or obs packages is how that discipline erodes, so
+CI fails on it.
+
+Usage: ``python tools/lint_hotpath.py [repo-root]`` — exits non-zero and
+prints one line per offending import.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+#: Packages whose code runs on the tracing/fork/IPC hot paths.
+HOT_PACKAGES = ("tracing", "forkhooks", "mp", "obs")
+
+#: Modules that must never be imported there.
+BANNED = {"logging"}
+
+
+def find_banned_imports(path: str) -> list:
+    """(lineno, module) for every banned import in the file at *path*."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    hits = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in BANNED:
+                    hits.append((node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module is not None:
+                root = node.module.split(".")[0]
+                if root in BANNED:
+                    hits.append((node.lineno, node.module))
+    return hits
+
+
+def main(argv: list) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    problems = []
+    for package in HOT_PACKAGES:
+        package_dir = os.path.join(root, "src", "repro", package)
+        if not os.path.isdir(package_dir):
+            print(f"lint-hotpath: missing package dir {package_dir}",
+                  file=sys.stderr)
+            return 2
+        for dirpath, _dirnames, filenames in os.walk(package_dir):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                for lineno, module in find_banned_imports(path):
+                    rel = os.path.relpath(path, root)
+                    problems.append(
+                        f"{rel}:{lineno}: imports {module!r} "
+                        f"(banned on the hot path)")
+    if problems:
+        print("\n".join(problems))
+        return 1
+    print(f"lint-hotpath: OK ({', '.join(HOT_PACKAGES)} are "
+          f"logging-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
