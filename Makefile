@@ -20,7 +20,7 @@ TEST_TIMEOUT ?= 120
 
 BENCH_LIMIT ?= 900
 
-.PHONY: test stress check lint-hotpath bench-json
+.PHONY: test stress check lint-hotpath bench bench-json bench-trace
 
 test:
 	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
@@ -40,5 +40,15 @@ lint-hotpath:
 bench-json:
 	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
 		$(PYTHON) benchmarks/bench_obs.py --out BENCH_obs.json
+
+# Trace-dispatch overhead artifact: the §7 overhead pair under the
+# per-code fast path, plus the no-breakpoint attach arm (gated at 15%
+# over the normal run) — written to BENCH_trace.json.  Nonzero exit on
+# any gate breach.
+bench-trace:
+	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		$(PYTHON) benchmarks/bench_trace.py --out BENCH_trace.json
+
+bench: bench-json bench-trace
 
 check: lint-hotpath test stress

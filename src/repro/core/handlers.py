@@ -79,7 +79,9 @@ def install_dionea_handlers(
         sync_registry.take_ownership()
         # A — disable tracing across the fork: a trace stop between fork
         # and the child's new listener thread would park a UE that no one
-        # could ever release.
+        # could ever release.  disable() routes through the engine's
+        # TraceBackend seam (settrace: flag check; sys.monitoring: event
+        # mask zeroed) so both backends go dark for the fork window.
         engine.disable()
         debug_event("handlers", "phase A complete (locks held, trace off)")
 
@@ -101,6 +103,10 @@ def install_dionea_handlers(
         if disturb is not None:
             disturb.reset_after_fork()
         # "register the thread that called fork as the main thread":
+        # reset_after_fork() drops inherited per-thread state AND the
+        # LineTable verdicts, then re-installs event delivery through
+        # the backend seam (TraceBackend.reinstall_after_fork) — the
+        # forker becomes the main thread the re-arm signal targets.
         engine.reset_after_fork()
         server.reinit_after_fork()
         # "finally re-enable the tracing that was disabled in A."

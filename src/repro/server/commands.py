@@ -14,6 +14,8 @@ debuggee threads sit parked.
 from __future__ import annotations
 
 import linecache
+import os
+import threading
 from typing import Any, Callable, Dict, TYPE_CHECKING
 
 from ..tracing.control import ResumeCommand
@@ -90,8 +92,19 @@ def cmd_status(server: "DebugServer", args: Dict[str, Any]) -> Any:
 def cmd_threads(server: "DebugServer", args: Dict[str, Any]) -> Any:
     """The Processes-and-threads view (Fig. 2), for this process."""
     parked = set(server.engine.controller.parked_ues())
+    # The engine materialises per-UE state only on its slow path, and
+    # the per-code fast path keeps quietly-running threads out of it
+    # entirely — so the view unions in every live debuggee thread
+    # instead of depending on dispatch policy.  The debugger's own
+    # service threads are all named ``dionea-*`` and stay hidden.
+    ues = set(server.engine.known_ues())
+    pid = os.getpid()
+    for thread in threading.enumerate():
+        if thread.ident is None or thread.name.startswith("dionea-"):
+            continue
+        ues.add(UEId(pid, thread.ident))
     out = []
-    for ue in server.engine.known_ues():
+    for ue in sorted(ues):
         out.append({
             "ue": protocol.ue_to_wire(ue),
             "label": describe_ue(ue, server.session.main_thread_ident),

@@ -241,3 +241,266 @@ def _pid_alive(pid: int) -> bool:
     except OSError:
         return False
     return True
+
+
+# ---------------------------------------------------------------------------
+# The scenario matrix: named, seed-parametric bodies the stress tier
+# iterates.  Test modules register their local bodies too, so one
+# registry answers "what stress coverage exists?" in one place.
+
+#: name -> body(ctx).  Populated by :func:`register_scenario`.
+SCENARIO_MATRIX: Dict[str, Callable[[ScenarioContext], None]] = {}
+
+
+def register_scenario(name: str,
+                      body: Optional[Callable[[ScenarioContext], None]] = None):
+    """Register *body* under *name*; usable as a decorator.
+
+    Re-registration with the same function is idempotent (test modules
+    re-import); a different function under a taken name is a bug.
+    """
+    def _register(fn):
+        existing = SCENARIO_MATRIX.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIO_MATRIX[name] = fn
+        return fn
+    return _register(body) if body is not None else _register
+
+
+# ---------------------------------------------------------------------------
+# breakpoint_churn: seeded add/remove churn against a live 3-deep fork
+# tree.  Exercises the LineTable invalidation path end-to-end: every
+# set/clear must invalidate the per-code cache of the process it lands
+# in, every fork must invalidate the child's inherited cache, and a
+# demoted main thread must re-arm in time to honour a breakpoint set
+# while it was running unhooked.
+
+
+def _churn_loop(n):
+    total = 0
+    for _i in range(n):
+        total += 2              # CHURN_BP_LINE — the client's breakpoint
+    return total
+
+
+CHURN_BP_LINE = _churn_loop.__code__.co_firstlineno + 3
+
+
+def _churn_check_loop(n):
+    acc = 0
+    for _i in range(n):
+        acc += 3                # CHURN_CHECK_LINE — debuggees self-set here
+    return acc
+
+
+CHURN_CHECK_LINE = _churn_check_loop.__code__.co_firstlineno + 3
+
+
+def _churn_never_called():  # pragma: no cover - decoy anchor, never runs
+    marker = 0
+    marker += 1                 # CHURN_DECOY_LINE — decoys land here
+    return marker
+
+
+CHURN_DECOY_LINE = _churn_never_called.__code__.co_firstlineno + 2
+_CHURN_SRC = os.path.abspath(__file__)
+
+CHURN_DEPTH = 3
+CHURN_ITERS = 3
+CHURN_SELF_HITS = 2
+
+
+def _alias_spellings() -> List[str]:
+    """Path-alias spellings of this file — all canonicalise identically,
+    so a breakpoint set through any of them must behave like the plain
+    absolute path (the property suite proves this for the LineTable;
+    here it runs against live sessions)."""
+    directory, name = os.path.split(_CHURN_SRC)
+    parent = os.path.basename(directory)
+    return [
+        _CHURN_SRC,
+        os.path.join(directory, ".", name),
+        os.path.join(directory, "..", parent, name),
+        os.path.join(os.path.dirname(directory), parent, "..", parent, name),
+    ]
+
+
+def _wait_for_file(path: str, timeout: float = 20.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _reap(pid: int, timeout: float = 20.0) -> Optional[int]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.01)
+    return None
+
+
+@register_scenario("breakpoint_churn")
+def breakpoint_churn(ctx: ScenarioContext) -> None:
+    """Seeded breakpoint add/remove schedule against a 3-deep fork tree.
+
+    Topology: one forked debuggee runs a Dionea facade and builds a
+    root → child → grandchild chain; each level gates on its own go-file,
+    runs the breakpointed loop (the client must observe exactly
+    ``CHURN_ITERS`` stops), then self-sets a private breakpoint on a
+    second loop, verifies its ``hit_count``, removes it, and forks the
+    next level.  Meanwhile the client churns: per level it clears every
+    inherited breakpoint, adds/removes a seeded batch of decoys (alias
+    spellings at a never-executed line, plus nonexistent files), and sets
+    the real breakpoint through a seeded alias spelling.
+    """
+    from ..client import DebugClient
+    from ..core import Dionea
+
+    portfile = ctx.portfile()
+    ctx.defer(portfile.remove)
+
+    def go_path(level: int) -> str:
+        return f"{portfile.path}.go{level}"
+
+    def ack_path(level: int) -> str:
+        return f"{portfile.path}.ack{level}"
+
+    for level in range(1, CHURN_DEPTH + 1):
+        for path in (go_path(level), ack_path(level)):
+            ctx.defer(lambda p=path: os.path.exists(p) and os.unlink(p))
+
+    def debuggee() -> int:
+        faults.registry().reset()
+        debugger = Dionea(program="stress-churn", portfile_path=portfile.path,
+                          park_timeout=30.0)
+        debugger.start()
+
+        def run_level(level: int) -> int:
+            if not _wait_for_file(go_path(level)):
+                return 10 + level
+            if _churn_loop(CHURN_ITERS) != 2 * CHURN_ITERS:
+                return 20 + level
+            # Post-churn self-check: a breakpoint added by the debuggee
+            # itself (after the client's add/remove storm and, below
+            # level 1, after a fork) must still stop and count hits —
+            # i.e. the LineTable rebuilt and the main thread re-armed.
+            engine = debugger.server.engine
+            bp = engine.breakpoints.add(_CHURN_SRC, CHURN_CHECK_LINE)
+            check = _churn_check_loop(CHURN_SELF_HITS)
+            engine.breakpoints.remove(bp.id)
+            if check != 3 * CHURN_SELF_HITS or bp.hit_count != CHURN_SELF_HITS:
+                return 30 + level
+            # Hold this level's server open until the client has read its
+            # breakpoint table — exiting on the heels of the last resume
+            # would race the verification step.
+            if not _wait_for_file(ack_path(level)):
+                return 50 + level
+            if level < CHURN_DEPTH:
+                pid = os.fork()
+                if pid == 0:
+                    os._exit(run_level(level + 1))
+                code = _reap(pid)
+                if code != 0:
+                    return 40 + level
+            return 0
+
+        code = run_level(1)
+        debugger.stop()
+        return code
+
+    root = ctx.fork(debuggee)
+
+    stops: Dict[Any, int] = {}
+    stop_lock = threading.Lock()
+
+    def auto_continue(view) -> None:
+        capture = view.capture
+        line = capture.top.line if capture and capture.top else None
+        with stop_lock:
+            key = (view.ue.pid, line)
+            stops[key] = stops.get(key, 0) + 1
+        # Release from a fresh thread: on_stop runs on the client's
+        # event thread, which must stay free to process the resume reply.
+        threading.Thread(target=view.cont, daemon=True).start()
+
+    def stop_count(pid: int, line: int) -> int:
+        with stop_lock:
+            return stops.get((pid, line), 0)
+
+    def wait_stops(pid: int, line: int, want: int, timeout: float = 20.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if stop_count(pid, line) >= want:
+                return
+            time.sleep(0.01)
+        raise AssertionError(
+            f"pid {pid} produced {stop_count(pid, line)}/{want} stops "
+            f"at line {line}; all stops: {dict(stops)}")
+
+    def wait_descendant(parent_pid: int, timeout: float = 20.0) -> int:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for rec in portfile.read_all():
+                if rec.parent_pid == parent_pid:
+                    return rec.pid
+            time.sleep(0.02)
+        raise AssertionError(f"no descendant of {parent_pid} announced")
+
+    client = DebugClient(on_stop=auto_continue)
+    ctx.defer(client.close)
+    client.watch_portfile(portfile)
+
+    aliases = _alias_spellings()
+    churn_log = []
+    pid = root
+    for level in range(1, CHURN_DEPTH + 1):
+        if level > 1:
+            pid = wait_descendant(pid)
+        session = client.session_for_pid(pid, timeout=20.0)
+        # Start from a clean slate: clear whatever this level inherited
+        # (each clear_break must invalidate the child's LineTable too).
+        for row in session.request("breaks"):
+            session.request("clear_break", {"id": row["id"]})
+        # Seeded decoy churn: aliases at a line that never executes plus
+        # files that do not exist — invalidation traffic, zero stops.
+        decoys = []
+        for _ in range(ctx.rng.randint(2, 4)):
+            if ctx.rng.random() < 0.5:
+                target = {"file": ctx.rng.choice(aliases),
+                          "line": CHURN_DECOY_LINE}
+            else:
+                target = {"file": f"/dionea/stress/none_"
+                                  f"{ctx.rng.randrange(1 << 20):05x}.py",
+                          "line": 1}
+            decoys.append(session.request("set_break", target)["id"])
+        ctx.rng.shuffle(decoys)
+        for bp_id in decoys[:ctx.rng.randint(0, len(decoys))]:
+            session.request("clear_break", {"id": bp_id})
+        # The real breakpoint, through a seeded alias spelling.
+        real = session.request("set_break",
+                               {"file": ctx.rng.choice(aliases),
+                                "line": CHURN_BP_LINE})
+        with open(go_path(level), "w", encoding="utf-8") as fh:
+            fh.write("go")
+        wait_stops(pid, CHURN_BP_LINE, CHURN_ITERS)
+        wait_stops(pid, CHURN_CHECK_LINE, CHURN_SELF_HITS)
+        table = {row["id"]: row for row in session.request("breaks")}
+        assert table[real["id"]]["hit_count"] == CHURN_ITERS, \
+            f"level {level}: real breakpoint hit_count wrong: {table}"
+        churn_log.append({"level": level, "pid": pid,
+                          "decoys": len(decoys),
+                          "hits": table[real["id"]]["hit_count"]})
+        with open(ack_path(level), "w", encoding="utf-8") as fh:
+            fh.write("ack")
+
+    code = ctx.wait_child(root, timeout=25.0)
+    assert code == 0, f"debuggee tree exited {code} (see level encoding)"
+    ctx.details["churn_log"] = churn_log
+    ctx.details["stops"] = {f"{p}:{ln}": n
+                            for (p, ln), n in sorted(stops.items())}

@@ -194,6 +194,23 @@ class BreakpointStore:
         with self._lock:
             return set(self._by_location)
 
+    def lines_for_file(self, file: str) -> frozenset:
+        """Every line in *file* (canonical) carrying a breakpoint.
+
+        Cold-path accessor for the LineTable: called once per code
+        object per cache generation, never per event.
+        """
+        with self._lock:
+            return frozenset(self._by_location.get(file, ()))
+
+    def has_function_break(self, function: str) -> bool:
+        """Lock-free: is any function breakpoint set on this name?
+
+        Same consistency model as :attr:`is_empty` — a racing mutation
+        is observed no later than the next cache invalidation.
+        """
+        return function in self._function_breaks
+
     def break_anywhere_in(self, file: str) -> bool:
         """Hot-path helper: does *file* contain any line breakpoint?
 

@@ -1,4 +1,4 @@
-"""The trace engine: Dionea's debug-server core, built on ``sys.settrace``.
+"""The trace engine: Dionea's debug-server core.
 
 Paper section 4: *"The debug server traces debuggee's execution using
 custom functions in conjunction with the tracing facilities provided by
@@ -6,23 +6,37 @@ the interpreters, i.e. ... sys.settrace for ... Python."*
 
 Responsibilities:
 
-* install/remove the interpreter trace hook for the current and all
-  future threads;
+* install/remove event delivery through a pluggable
+  :mod:`~repro.tracing.backends` seam (``sys.settrace`` by default,
+  PEP 669 ``sys.monitoring`` on 3.12+);
 * on each event decide — cheaply — whether the frame needs a local trace
-  function at all (the no-breakpoint fast path that keeps section 7's
-  overhead in the 10-20 % band);
+  function at all.  Two layers keep section 7's overhead down:
+
+  - the **armed/disarmed hook lifecycle**: while nothing is being
+    debugged the main thread physically drops its trace hook (on 3.11+
+    any per-thread hook defeats the specializing interpreter, which
+    costs far more than the dispatch itself) and is re-armed via a
+    signal when a feature goes live;
+  - the **per-code fast path**: while only breakpoints are live, a
+    :class:`~repro.tracing.linetable.LineTable` probe answers "can this
+    code object ever hit one?" in a single dict lookup, declining local
+    tracing for everything else — one probe per call, zero per line;
+
 * stop UEs at breakpoints, step targets, asynchronous suspend requests
   and disturb-mode birth events, parking only the stopping thread
   (low intrusion, footnote 1);
 * expose ``disable``/``enable`` used by fork handler phases A and B/C
   (*"Disable the tracing until the listener thread is restarted, to avoid
-  a deadlock in the child process"*, section 5.4).
+  a deadlock in the child process"*, section 5.4) — both routed through
+  the backend seam, as is the child's re-install in
+  :meth:`reset_after_fork`.
 
 Asynchronous suspend of an already-running thread works by injecting a
 local trace function into that thread's live frames via
 ``sys._current_frames()`` — the same mechanism IDE debuggers use — so a
 thread spinning in a long loop still honours a pause request at its next
-line event.
+line event.  The injected functions are removed again when the UE
+continues, so a suspended-then-resumed thread returns to the fast path.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ import os
 import sys
 import threading
 import time
+from threading import get_ident as _get_ident
 from time import perf_counter as _perf_counter
 from typing import Callable, Dict, Optional, Set, Tuple
 
@@ -39,9 +54,11 @@ from ..obs.spans import SPANS
 from ..util.errors import TraceError
 from ..util.ids import UEId
 from ..util.ringlog import debug_event
+from .backends import TraceBackend, fastpath_enabled, select_backend
 from .breakpoints import BreakpointStore, canonical_file
 from .control import ResumeCommand, UEController
 from .frames import StackCapture, capture_stack
+from .linetable import LineTable
 from .stepping import StepMode, StepState
 
 #: Debugger-infrastructure packages whose frames are never traced; tracing
@@ -67,7 +84,9 @@ class TraceEngine:
                  on_stop: Optional[Callable[[UEId, StackCapture], None]] = None,
                  on_resume: Optional[Callable[[UEId], None]] = None,
                  disturb: Optional[object] = None,
-                 park_timeout: Optional[float] = 60.0):
+                 park_timeout: Optional[float] = 60.0,
+                 backend: Optional[object] = None,
+                 fastpath: Optional[bool] = None):
         self.breakpoints = breakpoints or BreakpointStore()
         self.controller = controller or UEController()
         self.on_stop = on_stop
@@ -95,17 +114,55 @@ class TraceEngine:
         #: Optionally filtered to exception type names.
         self._exception_breaks = False
         self._exception_filter: Optional[Set[str]] = None
+
+        #: the event source (settrace or sys.monitoring); accepts a
+        #: backend name, a ready-made backend object, or None/'auto'
+        #: resolved via DIONEA_TRACE_BACKEND.
+        if backend is None or isinstance(backend, str):
+            self._backend: TraceBackend = select_backend(backend)
+        else:
+            self._backend = backend
+        #: per-code fast path toggle (DIONEA_TRACE_FASTPATH; the parity
+        #: matrix runs every suite with it off too).
+        self._fastpath = fastpath_enabled(fastpath)
+
+        #: pre-bound local dispatch: one bound-method object, so injected
+        #: ``f_trace`` functions are identity-comparable (and strippable)
+        self._local_fn = self._local_dispatch
+        #: per-code-object breakpoint relevance (the fast path's probe)
+        self.linetable = LineTable(self.breakpoints)
+        self._lt_probe = self.linetable.probe
+
+        #: armed/disarmed hook lifecycle state (settrace backend only):
+        #: the main thread may drop its trace hook while quiet and is
+        #: re-armed via REARM_SIGNAL (see repro.tracing.backends).
+        self._main_ident = threading.main_thread().ident
+        self._demotable = False
+        self._main_demoted = False
+        self._arm_epoch = 0
+
         #: precomputed "nothing is being debugged" flag: True while there
         #: are no breakpoints, no stepping UEs, no pending suspends and
         #: disturb mode is off.  Every feature toggle recomputes it so
         #: the per-event fast path is a single attribute read.
         self._quiet = True
-        self.breakpoints.on_change = self.refresh_quiet
+        #: True while *only* breakpoints are live — the state in which a
+        #: LineTable probe alone decides whether a frame needs tracing.
+        self._code_fastpath_ok = False
+
+        self.breakpoints.on_change = self._breakpoints_changed
         from .watchpoints import WatchpointStore
         self.watchpoints = WatchpointStore()
         self.watchpoints.on_change = self.refresh_quiet
         #: events the engine processed; read by the overhead benchmarks.
         self.event_count = 0
+        #: armed-mode calls the LineTable probe declined (plain int, read
+        #: via a callback gauge so the hot path never touches obs).
+        self.fastpath_hits = 0
+        #: local trace functions injected into live frames (suspend /
+        #: step arming); a suspended-then-resumed thread must not keep
+        #: growing this.
+        self.local_installs = 0
         self.refresh_quiet()
 
     # -- lifecycle --------------------------------------------------------------
@@ -118,49 +175,87 @@ class TraceEngine:
     def enabled(self) -> bool:
         return self._enabled
 
+    @property
+    def backend_name(self) -> str:
+        return getattr(self._backend, "name", "custom")
+
+    @property
+    def fastpath(self) -> bool:
+        return self._fastpath
+
     def install(self) -> None:
-        """Install the trace hook for this thread and all future threads."""
+        """Install event delivery for this thread and all future threads."""
         with self._lock:
             if self._installed:
                 raise TraceError("trace engine already installed")
             self._installed = True
-        threading.settrace(self._global_dispatch)
-        sys.settrace(self._global_dispatch)
-        # Expose the fast-path event counter as a callback gauge: the
-        # no-breakpoint fast path stays untouched (§7's overhead band);
-        # the registry reads `event_count` only at snapshot time.
+        self._backend.install(self)
+        # Expose the hot-path counters as callback gauges: the fast path
+        # stays untouched (§7's overhead band); the registry reads the
+        # plain ints only at snapshot time.
         obs_metrics.register_gauge("trace.events",
                                    lambda: self.event_count)
-        debug_event("tracing", "engine installed")
+        obs_metrics.register_gauge("trace.fastpath_hits",
+                                   lambda: self.fastpath_hits)
+        obs_metrics.register_gauge("trace.local_installs",
+                                   lambda: self.local_installs)
+        debug_event("tracing",
+                    f"engine installed (backend={self.backend_name}, "
+                    f"fastpath={'on' if self._fastpath else 'off'})")
 
     def uninstall(self) -> None:
         with self._lock:
             if not self._installed:
                 return
             self._installed = False
-        sys.settrace(None)
-        threading.settrace(None)  # type: ignore[arg-type]
-        obs_metrics.REGISTRY.unregister_gauge("trace.events")
+        self._backend.uninstall()
+        for gauge in ("trace.events", "trace.fastpath_hits",
+                      "trace.local_installs"):
+            obs_metrics.REGISTRY.unregister_gauge(gauge)
         self.controller.release_all()
         debug_event("tracing", "engine uninstalled")
 
     def disable(self) -> None:
         """Fork phase A: make every dispatch a near-no-op."""
         self._enabled = False
+        self._backend.sync()
 
     def enable(self) -> None:
         """Fork phases B/C: resume normal dispatch."""
         self._enabled = True
+        self._backend.sync()
 
     def refresh_quiet(self) -> None:
-        """Recompute the fast-path flag after any feature toggle."""
+        """Recompute the fast-path flags after any feature toggle."""
         disturb = self.disturb
-        self._quiet = (self.breakpoints.is_empty
-                       and self.watchpoints.is_empty
+        other_quiet = (self.watchpoints.is_empty
                        and not self._exception_breaks
                        and not self._active_steppers
                        and not self.controller.has_pending
                        and (disturb is None or not disturb.enabled))
+        quiet = other_quiet and self.breakpoints.is_empty
+        self._code_fastpath_ok = self._fastpath and other_quiet
+        was_quiet = self._quiet
+        self._quiet = quiet
+        if was_quiet != quiet and self._installed:
+            if not quiet:
+                # Closes the demote-vs-arm race: a main thread caught
+                # mid-demotion re-checks the epoch and restores itself.
+                self._arm_epoch += 1
+            self._backend.sync()
+
+    def _breakpoints_changed(self) -> None:
+        """Breakpoint mutation: invalidate per-code caches, then rearm.
+
+        Forked children re-own the store as data (Fig. 4), so this same
+        callback — plus :meth:`reset_after_fork` — is what PROTOCOL.md
+        means by the invalidation broadcast: every process that mutates
+        its copy of the store drops its own LineTable verdicts.
+        """
+        self.linetable.invalidate()
+        self.refresh_quiet()
+        if self._installed:
+            self._backend.events_invalidated()
 
     def set_exception_breaks(self, enabled: bool,
                              only: Optional[list] = None) -> None:
@@ -213,7 +308,7 @@ class TraceEngine:
         self.controller.request_suspend_all()
         self.refresh_quiet()
         for tid in list(sys._current_frames()):
-            if tid != threading.get_ident():
+            if tid != _get_ident():
                 self._inject_into_thread(tid)
 
     def resume_all(self) -> int:
@@ -226,12 +321,45 @@ class TraceEngine:
     def _inject_into_thread(self, tid: int) -> None:
         """Set local trace functions on a live thread's frames so its next
         line event reaches the engine even if its frames opted out."""
+        if not self._backend.needs_frame_injection:
+            return  # monitoring delivers lines globally while armed
         frame = sys._current_frames().get(tid)
-        while frame is not None:
-            if not self._should_skip(frame.f_code.co_filename):
-                frame.f_trace = self._local_dispatch
-                frame.f_trace_lines = True
-            frame = frame.f_back
+        if frame is not None:
+            self._inject_frames(frame)
+
+    def _inject_frames(self, frame) -> None:
+        """Arm *frame* and its callers with the local dispatch, skipping
+        debugger-infrastructure frames (`_SELF_PACKAGES`)."""
+        local_fn = self._local_fn
+        current = frame
+        while current is not None:
+            if (current.f_trace is not local_fn
+                    and not self._should_skip(current.f_code.co_filename)):
+                current.f_trace = local_fn
+                current.f_trace_lines = True
+                self.local_installs += 1
+            current = current.f_back
+
+    def _strip_injected_frames(self, frame) -> None:
+        """Remove injected local traces once their UE continues.
+
+        Without this a suspended-then-resumed thread would pay per-line
+        dispatch for the rest of every live frame's lifetime.  Only our
+        own pre-bound function is removed, and only from frames the
+        current feature set no longer needs (a frame whose code still
+        carries a breakpoint keeps its local trace so mid-frame hits
+        stay possible, exactly like the pre-fastpath engine).
+        """
+        local_fn = self._local_fn
+        quiet = self._quiet
+        fastpath_ok = self._code_fastpath_ok
+        current = frame
+        while current is not None:
+            if current.f_trace is local_fn:
+                if quiet or (fastpath_ok
+                             and not self._lt_probe(current.f_code)):
+                    current.f_trace = None
+            current = current.f_back
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -254,10 +382,18 @@ class TraceEngine:
         """Installed via sys.settrace; called for 'call' events.
 
         The first half is the **no-breakpoint fast path** the §7
-        overhead numbers depend on: when nothing is being debugged
-        (empty breakpoint store, no stepping UE, no pending suspend,
-        disturb off), the only per-call cost is a couple of attribute
-        reads and one dict lookup — no locks, no UEId construction.
+        overhead numbers depend on: when nothing is being debugged the
+        only per-call cost is a couple of attribute reads and one dict
+        lookup — no locks, no UEId construction — and on the settrace
+        backend the quiet main thread then *demotes itself* (drops its
+        hook entirely) so the specializing interpreter comes back.
+        While only breakpoints are live, the LineTable probe declines
+        local tracing per code object: one extra dict lookup per call,
+        zero per line, for every frame that can never hit one.
+
+        Hot-path discipline (enforced by tools/lint_hotpath.py): no
+        ``obs_metrics`` attribute lookups here — the counters below are
+        plain ints exported as callback gauges at install time.
         """
         if not self._enabled or not self._installed:
             return None
@@ -266,11 +402,42 @@ class TraceEngine:
         if skip is None:
             skip = self._should_skip(filename)
         if skip:
+            # Skipped frames never demote-gate the quiet check below, so
+            # re-check here: a main thread that only executes debugger
+            # infrastructure (or "<string>" code) after the engine goes
+            # quiet must still drop its hook.
+            if (self._quiet and self._demotable
+                    and _get_ident() == self._main_ident):
+                self._demote_main_thread()
             return None
         self.event_count += 1
         if self._quiet:
+            if self._demotable and _get_ident() == self._main_ident:
+                self._demote_main_thread()
+            return None
+        if self._code_fastpath_ok and not self._lt_probe(frame.f_code):
+            self.fastpath_hits += 1
             return None
         return self._slow_dispatch(frame, event, arg)
+
+    def _demote_main_thread(self) -> None:
+        """Quiet main thread: physically drop this thread's trace hook.
+
+        Runs inside the dispatch, in the main thread.  The backend's
+        re-arm signal handler restores the hook when a feature goes
+        live; the epoch re-check below closes the window where an arm
+        raced the demotion (the arm bumped the epoch and may have
+        signalled before ``_main_demoted`` was visible).
+        """
+        epoch = self._arm_epoch
+        self._main_demoted = True
+        sys.settrace(None)
+        if not self._installed:
+            self._main_demoted = False
+            return
+        if self._arm_epoch != epoch or not self._quiet:
+            self._main_demoted = False
+            sys.settrace(self._global_dispatch)
 
     def _slow_dispatch(self, frame, event, arg):
         """Some debugging feature is live: full per-UE processing."""
@@ -285,7 +452,7 @@ class TraceEngine:
             reason = disturb.check(ue, frame)
             if reason:
                 self._pause(ue, frame, reason=reason)
-                return self._local_dispatch
+                return self._local_fn
 
         if event != "call":
             # Defensive: injected frames may route non-call events here.
@@ -300,15 +467,15 @@ class TraceEngine:
             if bp is not None:
                 self._pause(ue, frame, reason="breakpoint",
                             breakpoint_id=bp.id)
-                return self._local_dispatch
+                return self._local_fn
 
         if state.should_stop_on_call(frame):
             self._pause(ue, frame, reason="step")
-            return self._local_dispatch
+            return self._local_fn
 
         if self.controller.consume_suspend(ue):
             self._pause(ue, frame, reason="suspend")
-            return self._local_dispatch
+            return self._local_fn
 
         # Trace this frame's lines at all?  Watchpoints and exception
         # breaks force local tracing everywhere (neither has a cheaper
@@ -319,7 +486,7 @@ class TraceEngine:
                 or self._exception_breaks
                 or self.breakpoints.break_anywhere_in(
                     self._canonical_file(filename))):
-            return self._local_dispatch
+            return self._local_fn
         return None
 
     def _local_dispatch(self, frame, event, arg):
@@ -336,6 +503,18 @@ class TraceEngine:
                 self._pause(ue, frame, reason="suspend")
             elif state.should_stop_on_line(frame):
                 self._pause(ue, frame, reason="step")
+            elif (frame.f_trace is self._local_fn
+                  and (self._quiet
+                       or (self._code_fastpath_ok
+                           and not self._lt_probe(frame.f_code)))):
+                # Same condition as _strip_injected_frames.  An async
+                # suspend injects from ANOTHER thread, so its walk can
+                # finish after the target already consumed the suspend,
+                # resumed and stripped — leaving this frame armed with
+                # nothing to stop on.  Shed the stale trace here rather
+                # than paying per-line dispatch for the frame's lifetime.
+                frame.f_trace = None
+                return None
             else:
                 t0 = _perf_counter()
                 bp = self.breakpoints.effective(
@@ -376,7 +555,7 @@ class TraceEngine:
                     self._pause(ue, frame, reason="exception",
                                 watch={"exception": name,
                                        "message": str(exc_value)})
-        return self._local_dispatch
+        return self._local_fn
 
     _stdlib_prefix_cache: Optional[str] = None
 
@@ -440,6 +619,8 @@ class TraceEngine:
             state.set_continue()
             self._active_steppers.discard(ue)
             self.refresh_quiet()
+            if self._backend.needs_frame_injection:
+                self._strip_injected_frames(frame)
             return
         self._active_steppers.add(ue)
         self.refresh_quiet()
@@ -461,12 +642,8 @@ class TraceEngine:
         # no-breakpoint fast path), so a step/next/return targeting them
         # would never see a line or return event.  Inject the local trace
         # function up the stack — bdb does the same via f_trace.
-        current = frame
-        while current is not None:
-            if not self._should_skip(current.f_code.co_filename):
-                current.f_trace = self._local_dispatch
-                current.f_trace_lines = True
-            current = current.f_back
+        if self._backend.needs_frame_injection:
+            self._inject_frames(frame)
 
     # -- fork support ---------------------------------------------------------------
 
@@ -475,7 +652,10 @@ class TraceEngine:
 
         Parent thread states, seen-UE marks and parked gates describe
         threads that do not exist in this process; drop them all and keep
-        a fresh state for the surviving thread.
+        a fresh state for the surviving thread.  The inherited LineTable
+        verdicts are dropped too — the child re-owns its breakpoint store
+        as data (Fig. 4), and its caches must be recomputed against its
+        own copy (the PROTOCOL.md invalidation-broadcast contract).
         """
         surviving = UEId.current()
         with self._lock:
@@ -483,10 +663,12 @@ class TraceEngine:
             self._active_steppers = set()
         self.controller.reset_after_fork(surviving)
         self.watchpoints.reset_after_fork()
+        self.linetable.invalidate()
         self.refresh_quiet()
-        # The child must re-arm tracing for itself: settrace state is
-        # per-thread and the child's thread is the parent's forker, which
-        # already had it; re-assert for robustness.
-        if self._installed and self._enabled:
-            threading.settrace(self._global_dispatch)
-            sys.settrace(self._global_dispatch)
+        # The child must re-arm event delivery for itself: settrace state
+        # is per-thread and the child's only thread is the parent's
+        # forker.  Routed through the backend seam — the settrace backend
+        # re-registers the forker as the main thread (phase C's "register
+        # the thread that called fork as the main thread").
+        if self._installed:
+            self._backend.reinstall_after_fork()

@@ -1,0 +1,103 @@
+"""Per-code-object breakpoint relevance: the LineTable cache.
+
+The old dispatch answered "could this frame ever hit a breakpoint?" by
+canonicalising the frame's filename and probing the breakpoint store on
+every call event.  This module precomputes the answer per *code object*:
+the set of lines in ``code.co_lines()`` that carry a breakpoint in the
+(canonicalised) file the code object was compiled from, plus a flag for
+function breakpoints matching ``co_name``.  The engine's global-trace
+fast path then pays exactly one dict probe per call for unbreakpointed
+code — and zero per line, because it declines local tracing outright.
+
+Consistency model (same as the store's ``is_empty``): the cache is read
+lock-free under the GIL; any breakpoint mutation — and the child side of
+a fork — calls :meth:`LineTable.invalidate`, which *rebinds* the cache
+dict (never mutates it in place) and bumps :attr:`generation`.  A racing
+reader may compute against the old store snapshot and write into the
+abandoned dict; that write is garbage-collected with the dict, so the
+next probe recomputes against fresh state.  A breakpoint set while code
+runs is observed no later than the next call event — pdb-grade
+semantics, identical to the pre-LineTable dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from .breakpoints import BreakpointStore, canonical_file
+
+
+class LineTable:
+    """Maps code objects to their breakpoint-relevant line sets."""
+
+    def __init__(self, breakpoints: BreakpointStore):
+        self._breakpoints = breakpoints
+        #: code object -> "can this code hit any breakpoint?".  Rebound
+        #: (not cleared) on invalidation so hot-path readers never see a
+        #: half-built dict.
+        self._cache: Dict[object, bool] = {}
+        #: raw co_filename -> canonical path memo; survives invalidation
+        #: (paths do not change meaning when breakpoints do).
+        self._canonical: Dict[str, str] = {}
+        #: bumped on every invalidation; tests and the stress tier use it
+        #: to prove stale caches cannot survive a mutation or a fork.
+        self.generation = 0
+
+    # -- hot path ---------------------------------------------------------
+
+    def probe(self, code) -> bool:
+        """True iff *code* could hit a line or function breakpoint.
+
+        One dict lookup on the hot path; the miss path computes from
+        ``co_lines()`` and the store, then publishes the verdict.
+        """
+        cache = self._cache
+        hit = cache.get(code)
+        if hit is None:
+            hit = (bool(self.relevant_lines(code))
+                   or self._breakpoints.has_function_break(code.co_name))
+            # Writes into a cache dict that invalidate() has since
+            # abandoned are dropped with it — see the module docstring.
+            cache[code] = hit
+        return hit
+
+    # -- cold path --------------------------------------------------------
+
+    def relevant_lines(self, code) -> FrozenSet[int]:
+        """The exact lines of *code* carrying a line breakpoint.
+
+        This is the precomputed equivalent of the old per-line check
+        ``bool(store.match_line(canonical_file(co_filename), line))`` and
+        the oracle the property tests compare against.  Function
+        breakpoints are deliberately excluded (they fire on entry, not
+        on a line — see :meth:`probe`).
+        """
+        co_lines = getattr(code, "co_lines", None)
+        if co_lines is None:  # pre-3.10 interpreter: cannot prove absence
+            return frozenset()
+        bp_lines = self._breakpoints.lines_for_file(
+            self._canonical_file(code.co_filename))
+        if not bp_lines:
+            return frozenset()
+        hits = set()
+        for _start, _end, line in co_lines():
+            if line is not None and line in bp_lines:
+                hits.add(line)
+        return frozenset(hits)
+
+    def _canonical_file(self, raw: str) -> str:
+        cached = self._canonical.get(raw)
+        if cached is None:
+            cached = canonical_file(raw)
+            self._canonical[raw] = cached
+        return cached
+
+    # -- invalidation -----------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached verdict (breakpoint mutation or post-fork)."""
+        self.generation += 1
+        self._cache = {}
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -79,11 +79,19 @@ def pytest_runtest_call(item):
 def clean_process_state():
     """Assert and restore process-global debugger state around each test."""
     original_fork = os.fork
+    original_urg = (signal.getsignal(signal.SIGURG)
+                    if hasattr(signal, "SIGURG") else None)
     yield
     # Restore tracing unconditionally: a failed engine test must not
     # leave a trace function slowing down (or parking!) later tests.
     sys.settrace(None)
     threading.settrace(None)
+    # The settrace backend re-arms a demoted main thread via SIGURG; a
+    # failed test must not leave its handler (bound to a dead engine)
+    # installed for the next test's backend to chain into.
+    if (original_urg is not None
+            and signal.getsignal(signal.SIGURG) is not original_urg):
+        signal.signal(signal.SIGURG, original_urg)
     # A leaked fork patch would make every later fork run dead handlers.
     if os.fork is not original_fork:
         os.fork = original_fork

@@ -1,0 +1,145 @@
+"""Property tests: the LineTable equals the old per-line dispatch.
+
+The tentpole replaced "canonicalise the filename and probe the store on
+every line event" with a precomputed per-code-object line set.  These
+properties pin the refactor to its oracle: for ANY generated module
+compiled under ANY alias spelling of its path, and ANY breakpoint
+schedule (itself set through alias spellings), the precomputed
+:meth:`LineTable.relevant_lines` must equal the brute-force old check,
+and :meth:`LineTable.probe` must equal its boolean (plus the function-
+breakpoint escape hatch).  No real files are involved — canonical_file
+is pure path arithmetic.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.tracing.breakpoints import BreakpointStore, canonical_file
+from repro.tracing.linetable import LineTable
+
+#: Two distinct module identities, each with several spellings that
+#: canonicalise to the same path — plus the other module's spellings,
+#: which must NOT match.
+ALIASES = {
+    "mod": [
+        "/dionea-prop/pkg/mod.py",
+        "/dionea-prop/pkg/./mod.py",
+        "/dionea-prop/pkg/../pkg/mod.py",
+        "/dionea-prop/other/../pkg/mod.py",
+    ],
+    "aux": [
+        "/dionea-prop/pkg/aux.py",
+        "/dionea-prop/pkg/sub/../aux.py",
+    ],
+}
+
+
+def make_source(shape):
+    """A module of top-level functions (with one nested inner each when
+    marked), deterministic from *shape*: [(n_lines, nested), ...]."""
+    parts = []
+    for index, (n_lines, nested) in enumerate(shape):
+        parts.append(f"def f{index}():")
+        parts.append("    acc = 0")
+        for i in range(n_lines):
+            parts.append(f"    acc += {i}")
+        if nested:
+            parts.append("    def inner():")
+            parts.append("        return acc + 1")
+            parts.append("    acc += inner()")
+        parts.append("    return acc")
+    return "\n".join(parts) + "\n"
+
+
+def all_code_objects(code):
+    """*code* plus every code object reachable through co_consts."""
+    found = [code]
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):
+            found.extend(all_code_objects(const))
+    return found
+
+
+def oracle_lines(code, store):
+    """The old dispatch, spelled out: per executable line, canonicalise
+    the frame's filename and ask the store."""
+    return frozenset(
+        line for (_start, _end, line) in code.co_lines()
+        if line is not None
+        and store.match_line(canonical_file(code.co_filename), line))
+
+
+shapes = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=5), st.booleans()),
+    min_size=1, max_size=3)
+
+#: (module key, alias index) pairs — resolved against ALIASES at use.
+spellings = st.tuples(st.sampled_from(sorted(ALIASES)),
+                      st.integers(min_value=0, max_value=3))
+
+bp_schedule = st.lists(
+    st.tuples(spellings, st.integers(min_value=1, max_value=25)),
+    max_size=12)
+
+
+def _spell(key, index):
+    options = ALIASES[key]
+    return options[index % len(options)]
+
+
+class TestOracleEquality:
+    @given(shape=shapes, compile_as=spellings, schedule=bp_schedule)
+    def test_relevant_lines_equal_brute_force(self, shape, compile_as,
+                                              schedule):
+        source = make_source(shape)
+        filename = _spell(*compile_as)
+        module = compile(source, filename, "exec")
+        store = BreakpointStore()
+        for (key, index), line in schedule:
+            store.add(_spell(key, index), line)
+        table = LineTable(store)
+        for code in all_code_objects(module):
+            assert table.relevant_lines(code) == oracle_lines(code, store)
+
+    @given(shape=shapes, compile_as=spellings, schedule=bp_schedule,
+           function_bp=st.booleans())
+    def test_probe_equals_boolean_oracle(self, shape, compile_as,
+                                         schedule, function_bp):
+        source = make_source(shape)
+        filename = _spell(*compile_as)
+        module = compile(source, filename, "exec")
+        store = BreakpointStore()
+        for (key, index), line in schedule:
+            store.add(_spell(key, index), line)
+        if function_bp:
+            store.add_function("f0")
+        table = LineTable(store)
+        for code in all_code_objects(module):
+            expected = (bool(oracle_lines(code, store))
+                        or store.has_function_break(code.co_name))
+            assert table.probe(code) is expected
+            # The published verdict must be stable on re-probe.
+            assert table.probe(code) is expected
+
+    @given(shape=shapes, schedule=bp_schedule, data=st.data())
+    def test_churn_never_leaves_stale_verdicts(self, shape, schedule, data):
+        """Add/remove churn with the store wired to invalidate (as the
+        engine wires it): after every mutation the cached verdicts must
+        match a freshly built table."""
+        source = make_source(shape)
+        module = compile(source, ALIASES["mod"][0], "exec")
+        codes = all_code_objects(module)
+        store = BreakpointStore()
+        table = LineTable(store)
+        store.on_change = table.invalidate
+        live = []
+        for (key, index), line in schedule:
+            generation = table.generation
+            if live and data.draw(st.booleans()):
+                store.remove(live.pop(data.draw(st.integers(
+                    min_value=0, max_value=len(live) - 1))))
+            else:
+                live.append(store.add(_spell(key, index), line).id)
+            assert table.generation > generation
+            fresh = LineTable(store)
+            for code in codes:
+                assert table.probe(code) is fresh.probe(code)

@@ -36,7 +36,11 @@ from repro.testkit.faults import (
     point_seed,
     registry as fault_registry,
 )
-from repro.testkit.scenarios import ScenarioRunner
+from repro.testkit.scenarios import (
+    SCENARIO_MATRIX,
+    ScenarioRunner,
+    register_scenario,
+)
 from repro.util.framing import recv_frame, send_frame
 from repro.util.portfile import PortFile, PortRecord
 
@@ -603,6 +607,56 @@ def _client_restart_reattach(ctx):
 def test_client_restart_reattach():
     run_ok("client_restart_reattach", _client_restart_reattach,
            seed=MASTER_SEED + 37)
+
+
+# ---------------------------------------------------------------------------
+# 13. Breakpoint churn against a live 3-deep fork tree (body lives in
+#     repro.testkit.scenarios so other harnesses can reuse it via the
+#     scenario matrix).  The tentpole's cache-invalidation contract:
+#     every seed must produce exactly the scripted stop counts at every
+#     tree level, whatever the decoy add/remove schedule did in between.
+
+
+@pytest.mark.parametrize("offset", range(10))
+def test_breakpoint_churn_ten_seeds(offset):
+    body = SCENARIO_MATRIX["breakpoint_churn"]
+    result = run_ok("breakpoint_churn", body, seed=MASTER_SEED + 41 + offset)
+    assert len(result.details["churn_log"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# The scenario matrix: register this module's bodies so the registry in
+# repro.testkit.scenarios names the tier's full coverage in one place.
+
+
+for _name, _body in [
+    ("fork_failure_storm", _fork_failure_storm),
+    ("framing_partial_delivery", _framing_partial_delivery),
+    ("fork_chain_pipe_eintr", _fork_chain_pipe_eintr),
+    ("queue_flood_sem_eintr", _queue_flood_sem_eintr),
+    ("pool_fanout_partial_pipes", _pool_fanout_partial_pipes),
+    ("barrier_storm", _barrier_storm),
+    ("client_server_partial_frames", _client_server_partial_frames),
+    ("child_death_mid_handshake", _child_death_mid_handshake),
+    ("connect_refused_then_recovers", _connect_refused_then_recovers),
+    ("frame_delay_storm", _frame_delay_storm),
+    ("server_sigkilled_mid_command", _server_sigkilled_mid_command),
+    ("client_restart_reattach", _client_restart_reattach),
+]:
+    register_scenario(_name, _body)
+
+
+def test_matrix_names_every_scenario():
+    assert set(SCENARIO_MATRIX) == {
+        "fork_failure_storm", "framing_partial_delivery",
+        "fork_chain_pipe_eintr", "queue_flood_sem_eintr",
+        "pool_fanout_partial_pipes", "barrier_storm",
+        "client_server_partial_frames", "child_death_mid_handshake",
+        "connect_refused_then_recovers", "frame_delay_storm",
+        "server_sigkilled_mid_command", "client_restart_reattach",
+        "breakpoint_churn",
+    }
+    assert all(callable(body) for body in SCENARIO_MATRIX.values())
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,14 @@ the debugger's own internals).  A single stray ``import logging`` in the
 tracing, fork-hook, mp or obs packages is how that discipline erodes, so
 CI fails on it.
 
+A second check guards the trace engine's global-dispatch fast path: the
+``_global_dispatch`` body must not contain any ``obs_metrics`` attribute
+lookup.  That function runs on every call event of every debuggee
+thread; its counters are plain ints exported as callback gauges at
+install time, and a casually added ``obs_metrics.inc(...)`` would put an
+attribute lookup plus a shard update on the path the §7 overhead budget
+is spent on.
+
 Usage: ``python tools/lint_hotpath.py [repo-root]`` — exits non-zero and
 prints one line per offending import.
 """
@@ -46,6 +54,39 @@ def find_banned_imports(path: str) -> list:
     return hits
 
 
+#: Function whose body is the global-trace fast path, and the name that
+#: must not be attribute-accessed inside it.
+FASTPATH_FUNCTION = "_global_dispatch"
+FASTPATH_BANNED_NAME = "obs_metrics"
+
+
+def find_fastpath_metric_lookups(path: str) -> list:
+    """(lineno, source) for each ``obs_metrics.<attr>`` inside the
+    global-dispatch fast path of the file at *path*.  Returns a single
+    sentinel entry if the function is missing entirely — a rename must
+    update this lint, not silently disable it."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    function = None
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == FASTPATH_FUNCTION):
+            function = node
+            break
+    if function is None:
+        return [(0, f"function {FASTPATH_FUNCTION!r} not found — "
+                    f"update tools/lint_hotpath.py for the rename")]
+    hits = []
+    for node in ast.walk(function):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == FASTPATH_BANNED_NAME):
+            hits.append((node.lineno,
+                         f"{FASTPATH_BANNED_NAME}.{node.attr}"))
+    return hits
+
+
 def main(argv: list) -> int:
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -66,11 +107,21 @@ def main(argv: list) -> int:
                     problems.append(
                         f"{rel}:{lineno}: imports {module!r} "
                         f"(banned on the hot path)")
+    engine_path = os.path.join(root, "src", "repro", "tracing", "engine.py")
+    if not os.path.isfile(engine_path):
+        print(f"lint-hotpath: missing {engine_path}", file=sys.stderr)
+        return 2
+    for lineno, what in find_fastpath_metric_lookups(engine_path):
+        rel = os.path.relpath(engine_path, root)
+        problems.append(
+            f"{rel}:{lineno}: {what} inside {FASTPATH_FUNCTION} "
+            f"(no obs lookups on the global-trace fast path; use a "
+            f"plain int + callback gauge)")
     if problems:
         print("\n".join(problems))
         return 1
     print(f"lint-hotpath: OK ({', '.join(HOT_PACKAGES)} are "
-          f"logging-free)")
+          f"logging-free; {FASTPATH_FUNCTION} is obs-free)")
     return 0
 
 
