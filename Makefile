@@ -20,7 +20,7 @@ TEST_TIMEOUT ?= 120
 
 BENCH_LIMIT ?= 900
 
-.PHONY: test stress check lint-hotpath bench bench-json bench-trace
+.PHONY: test stress check lint-hotpath bench bench-json bench-trace bench-fleet
 
 test:
 	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
@@ -49,6 +49,14 @@ bench-trace:
 	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
 		$(PYTHON) benchmarks/bench_trace.py --out BENCH_trace.json
 
-bench: bench-json bench-trace
+# Fleet-scale client artifact: 200 forked debug-server workers attached
+# by one client — gates the O(1) thread bill, the pipelined-sweep
+# speedup over the serial baseline, and the idle-attached CPU budget.
+# Written to BENCH_fleet.json; nonzero exit on any gate breach.
+bench-fleet:
+	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		$(PYTHON) benchmarks/bench_fleet.py --out BENCH_fleet.json
+
+bench: bench-json bench-trace bench-fleet
 
 check: lint-hotpath test stress

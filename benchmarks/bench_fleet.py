@@ -1,0 +1,291 @@
+"""Fleet-scale client benchmark: one reactor, ~200 debuggee processes.
+
+A gunicorn-style fork tree — one bench master forking N workers, each
+worker running a real :class:`~repro.server.DebugServer` and announcing
+itself in a rendezvous file — attached by ONE :class:`DebugClient`
+multiplexing every session on its single reactor.  Three gated arms,
+one JSON artifact (``BENCH_fleet.json``):
+
+1. **Thread bill** (hard gate): after all N sessions attach, the client
+   owns a constant number of threads (reactor loop + event dispatcher),
+   independent of N.  The pre-reactor design cost ~3 threads per
+   session (~600 at N=200); the gate pins the O(1) property.
+2. **Sweep speedup** (gate: ≥ 5×): a fleet-wide ``status`` sweep via
+   pipelined scatter-gather (:meth:`DebugClient.cluster_request`) vs the
+   serial-loop baseline (one blocking request per session).  Serial
+   costs the *sum* of per-process round trips; scatter-gather overlaps
+   them across N independent server processes.
+3. **Idle CPU** (gate: budget fraction of one core): with N sessions
+   attached and heartbeats running, the client process's CPU over a
+   quiet window.  An idle-attached fleet client must not spin.
+
+Attach latency for the full fleet is recorded (not gated) alongside.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --out BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+sys.path.insert(0, os.path.dirname(HERE))
+
+from repro.client import DebugClient  # noqa: E402
+from repro.util.portfile import (  # noqa: E402
+    PortFile,
+    PortRecord,
+    default_portfile_path,
+)
+
+
+def spawn_fleet(portfile: PortFile, n_workers: int,
+                dispatch_delay: float = 0.0):
+    """Fork *n_workers* children, each a live debug server.
+
+    Every child starts a :class:`DebugServer` (tracing off: this
+    benchmark measures the client, not sys.settrace), announces its
+    port, then blocks on a shared shutdown pipe — zero CPU while idle,
+    which keeps the idle-CPU arm honest.  Returns ``(pids, stop)``
+    where calling ``stop()`` releases and reaps the whole fleet.
+
+    *dispatch_delay* arms a testkit delay at ``server.request.dispatch``
+    in every worker: a stand-in for real per-command handler cost
+    (telemetry collection, stack capture).  On loopback with empty
+    handlers both sweep arms are client-bound and the serial-vs-batch
+    contrast the sweep gate is about never shows; with a handler cost,
+    the serial loop pays the *sum* of them and scatter-gather pays the
+    *max* — the quantity the gate pins.  Heartbeat pongs use a separate
+    injection point and stay instant.
+    """
+    read_fd, write_fd = os.pipe()
+    parent = os.getpid()
+    pids = []
+    for index in range(n_workers):
+        pid = os.fork()
+        if pid == 0:
+            code = 70
+            try:
+                os.close(write_fd)
+                from repro.server import DebugServer
+                from repro.testkit.faults import Fault, registry
+                if dispatch_delay > 0:
+                    registry().reset()
+                    registry().arm("server.request.dispatch",
+                                   Fault.delay(dispatch_delay))
+                server = DebugServer(program=f"fleet-worker-{index}",
+                                     park_timeout=120.0)
+                server.start(install_tracing=False, announce=False)
+                portfile.announce(PortRecord(
+                    pid=os.getpid(), parent_pid=parent, host="127.0.0.1",
+                    port=server.port, created_at=time.time()))
+                os.read(read_fd, 1)  # EOF when the master closes write_fd
+                server.close()
+                code = 0
+            except BaseException:  # noqa: BLE001 - child must die quietly
+                pass
+            finally:
+                os._exit(code)
+        pids.append(pid)
+    os.close(read_fd)
+
+    def stop():
+        os.close(write_fd)
+        deadline = time.monotonic() + 30.0
+        remaining = set(pids)
+        while remaining and time.monotonic() < deadline:
+            for pid in list(remaining):
+                done, _status = os.waitpid(pid, os.WNOHANG)
+                if done == pid:
+                    remaining.discard(pid)
+            if remaining:
+                time.sleep(0.01)
+        for pid in remaining:  # pragma: no cover - stuck child
+            try:
+                os.kill(pid, 9)
+                os.waitpid(pid, 0)
+            except OSError:
+                pass
+
+    return pids, stop
+
+
+def dionea_thread_names():
+    return sorted(t.name for t in threading.enumerate()
+                  if t.name.startswith("dionea-"))
+
+
+def wait_attached(client: DebugClient, want: int, timeout: float) -> float:
+    started = time.monotonic()
+    deadline = started + timeout
+    while time.monotonic() < deadline:
+        if len(client.sessions()) >= want:
+            return time.monotonic() - started
+        time.sleep(0.02)
+    raise RuntimeError(f"only {len(client.sessions())}/{want} sessions "
+                       f"attached within {timeout:.0f}s")
+
+
+def sweep_arms(client: DebugClient, repeats: int) -> dict:
+    """Serial-loop vs pipelined scatter-gather, best of *repeats*."""
+    sessions = client.sessions()
+    serial_times, batch_times = [], []
+    for _ in range(repeats):
+        started = time.monotonic()
+        for session in sessions:
+            session.request("status", timeout=30.0)
+        serial_times.append(time.monotonic() - started)
+
+        started = time.monotonic()
+        results, errors = client.cluster_request("status", timeout=30.0)
+        batch_times.append(time.monotonic() - started)
+        if errors or len(results) != len(sessions):
+            raise RuntimeError(f"sweep holes over a healthy fleet: "
+                               f"{len(results)}/{len(sessions)} ok, "
+                               f"errors={errors}")
+    return {
+        "sessions": len(sessions),
+        "repeats": repeats,
+        "serial": {"times": serial_times, "best": min(serial_times)},
+        "pipelined": {"times": batch_times, "best": min(batch_times)},
+        "speedup": min(serial_times) / min(batch_times),
+    }
+
+
+def idle_cpu_arm(window: float) -> dict:
+    """Client-process CPU fraction over a quiet *window* seconds.
+
+    ``time.process_time`` sums every thread in this process — exactly
+    the bill an idle-attached client presents.  Heartbeats keep firing
+    during the window; that traffic is part of the idle cost, not noise.
+    """
+    cpu0 = time.process_time()
+    wall0 = time.monotonic()
+    time.sleep(window)
+    wall = time.monotonic() - wall0
+    cpu = time.process_time() - cpu0
+    return {"window_seconds": wall, "cpu_seconds": cpu,
+            "cpu_fraction": cpu / wall}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(HERE), "BENCH_fleet.json"))
+    parser.add_argument("--sessions", type=int, default=200,
+                        help="fleet size (forked debug-server workers)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="sweep repetitions; best-of wins")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    parser.add_argument("--dispatch-delay-ms", type=float, default=5.0,
+                        help="per-command handler cost modelled in each "
+                             "worker (see spawn_fleet)")
+    parser.add_argument("--idle-window", type=float, default=2.0)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="pipelined sweep must beat serial by this")
+    parser.add_argument("--idle-cpu-budget", type=float, default=0.25,
+                        help="max client CPU fraction while idle-attached")
+    parser.add_argument("--max-client-threads", type=int, default=2,
+                        help="reactor loop + dispatcher; never O(N)")
+    args = parser.parse_args(argv)
+
+    portfile = PortFile(default_portfile_path(f"bench-fleet-{os.getpid()}"))
+    print(f"bench-fleet: forking {args.sessions} debug-server workers ...",
+          flush=True)
+    _pids, stop_fleet = spawn_fleet(
+        portfile, args.sessions,
+        dispatch_delay=args.dispatch_delay_ms / 1000.0)
+
+    client = DebugClient()
+    gates_ok = True
+    try:
+        started = time.monotonic()
+        client.watch_portfile(portfile, poll_interval=0.05)
+        attach_seconds = wait_attached(client, args.sessions, timeout=120.0)
+        # Tighten the ping cadence so the idle window (and the final
+        # fleet_health) sees real heartbeat traffic, not silence.
+        for session in client.sessions():
+            session.heartbeat_interval = args.heartbeat_interval
+        print(f"  attach: {args.sessions} sessions in "
+              f"{attach_seconds:6.2f}s "
+              f"({attach_seconds / args.sessions * 1000:.1f} ms/session)")
+
+        threads = dionea_thread_names()
+        threads_ok = len(threads) <= args.max_client_threads
+        print(f"  client threads: {len(threads)} {threads} "
+              f"(gate: <= {args.max_client_threads})"
+              + ("" if threads_ok else "  FAIL"))
+
+        print(f"bench-fleet: sweep arms (best of {args.repeats}) ...",
+              flush=True)
+        sweep = sweep_arms(client, args.repeats)
+        speedup_ok = sweep["speedup"] >= args.min_speedup
+        print(f"  serial loop: best {sweep['serial']['best']:8.3f}s")
+        print(f"  pipelined:   best {sweep['pipelined']['best']:8.3f}s")
+        print(f"  speedup: {sweep['speedup']:6.2f}x "
+              f"(gate: >= {args.min_speedup:.1f}x)"
+              + ("" if speedup_ok else "  FAIL"))
+
+        print(f"bench-fleet: idle-attached CPU over "
+              f"{args.idle_window:.1f}s ...", flush=True)
+        idle = idle_cpu_arm(args.idle_window)
+        idle_ok = idle["cpu_fraction"] <= args.idle_cpu_budget
+        print(f"  cpu: {idle['cpu_seconds']:6.3f}s over "
+              f"{idle['window_seconds']:.2f}s -> "
+              f"{idle['cpu_fraction'] * 100:5.1f}% of one core "
+              f"(gate: <= {args.idle_cpu_budget * 100:.0f}%)"
+              + ("" if idle_ok else "  FAIL"))
+
+        fleet = client.fleet_health()
+        total_seconds = time.monotonic() - started
+    finally:
+        client.close()
+        stop_fleet()
+        portfile.remove()
+
+    gates = {
+        "client_threads_constant": threads_ok,
+        "sweep_speedup": speedup_ok,
+        "idle_cpu": idle_ok,
+    }
+    gates_ok = all(gates.values())
+    document = {
+        "benchmark": "fleet-client",
+        "sessions": args.sessions,
+        "attach": {"seconds": attach_seconds,
+                   "per_session_ms":
+                       attach_seconds / args.sessions * 1000.0},
+        "client_threads": {"names": threads, "count": len(threads),
+                           "max_allowed": args.max_client_threads},
+        "sweep": {**sweep,
+                  "dispatch_delay_ms": args.dispatch_delay_ms,
+                  "min_speedup": args.min_speedup},
+        "idle": {**idle, "budget_fraction": args.idle_cpu_budget},
+        "fleet_health": fleet,
+        "total_seconds": total_seconds,
+        "gates": gates,
+        "all_gates_pass": gates_ok,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    print(f"bench-fleet: wrote {args.out}")
+
+    if not gates_ok:
+        failed = [name for name, ok in gates.items() if not ok]
+        print(f"bench-fleet: FAIL — gates breached: {failed}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

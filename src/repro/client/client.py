@@ -17,20 +17,33 @@ New debuggees arrive two ways:
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..server import protocol
 from ..tracing.frames import StackCapture
 from ..util.errors import ReproError, SessionError, ViewError
 from ..util.ids import IdAllocator, UEId
 from ..util.portfile import PortFile, PortFileWatcher, PortRecord
 from ..util.ringlog import debug_event
-from .session import DebugSession
+from .reactor import ClientReactor
+from .session import DebugSession, PendingCall
 from .view import DebugView
+
+#: Retained tail of :attr:`DebugClient.stop_history` — bounded the same
+#: way the Output window is; ``stop_count`` keeps the monotonic total.
+STOP_HISTORY_LIMIT = 1024
 
 
 class DebugClient:
-    """1 client : N servers session manager."""
+    """1 client : N servers session manager.
+
+    All sessions share ONE :class:`~repro.client.reactor.ClientReactor`:
+    the client costs two threads total (loop + dispatcher) no matter how
+    many debuggees are attached — the property the fleet benchmark
+    gates on.
+    """
 
     def __init__(self,
                  on_stop: Optional[Callable[[DebugView], None]] = None,
@@ -50,8 +63,13 @@ class DebugClient:
         self.on_stop = on_stop
         self.on_new_session = on_new_session
         self.on_session_lost = on_session_lost
-        #: stop notifications in arrival order (handy for tests/tools)
+        #: one selector loop for every session's sockets
+        self.reactor = ClientReactor()
+        #: recent stop notifications in arrival order (bounded tail)
         self.stop_history: List[DebugView] = []
+        #: monotonic count of every stop ever routed — what
+        #: :meth:`wait_for_stop` counts, immune to the history bound
+        self.stop_count = 0
         self._stop_signal = threading.Condition()
         #: Fig. 2's Output window, per debuggee pid.
         self._output: Dict[int, List[tuple]] = {}
@@ -63,6 +81,7 @@ class DebugClient:
 
     def attach(self, host: str, port: int, **session_kwargs) -> DebugSession:
         """Open a session to the debug server at host:port."""
+        session_kwargs.setdefault("reactor", self.reactor)
         session = DebugSession(host, port, self._session_ids.next(),
                                on_event=self._route_event, **session_kwargs)
         with self._lock:
@@ -100,13 +119,24 @@ class DebugClient:
         and dead records are reaped from the file every *gc_interval*
         seconds so a long debug run's rendezvous file doesn't accrete
         corpses.  Pass ``gc_interval=0`` to keep every record forever.
+
+        The poll rides the shared reactor's timer wheel — the wheel
+        fires the tick, the dispatcher thread runs the poll and any
+        dials (a dial blocks on connect, which the loop thread must
+        never do) — so watching adds zero threads.
         """
         if self._watcher is not None:
             raise SessionError("already watching a port file")
         self._watcher = PortFileWatcher(
             portfile=portfile, on_record=self._on_port_record,
             poll_interval=poll_interval, gc_interval=gc_interval)
-        self._watcher.start()
+        self._watcher.start(scheduler=self._schedule_poll)
+
+    def _schedule_poll(self, delay: float,
+                       fn: Callable[[], None]) -> object:
+        """Timer-wheel scheduler handed to the portfile watcher."""
+        return self.reactor.call_later(
+            delay, lambda: self.reactor.defer(fn))
 
     def _on_port_record(self, record: PortRecord) -> None:
         with self._lock:
@@ -134,6 +164,7 @@ class DebugClient:
             self._active_view = None
         for session in sessions:
             session.close()
+        self.reactor.close()
 
     def __enter__(self) -> "DebugClient":
         return self
@@ -154,7 +185,6 @@ class DebugClient:
         Blocks on a condition signalled by :meth:`attach` — no polling;
         the waiter wakes the moment the watcher's dial completes.
         """
-        import time
         deadline = time.monotonic() + timeout
         with self._session_signal:
             while True:
@@ -278,7 +308,14 @@ class DebugClient:
             view = self.view_for(ue, session=session)
             view.mark_stopped(StackCapture.from_wire(payload["capture"]))
             with self._stop_signal:
+                self.stop_count += 1
                 self.stop_history.append(view)
+                if len(self.stop_history) > STOP_HISTORY_LIMIT:
+                    # Bounded like the Output window: at fleet scale an
+                    # unbounded arrival log is a leak.  stop_count keeps
+                    # wait_for_stop counting correct across the trim.
+                    del self.stop_history[:len(self.stop_history)
+                                          - STOP_HISTORY_LIMIT]
                 self._stop_signal.notify_all()
             if self.on_stop is not None:
                 try:
@@ -322,15 +359,19 @@ class DebugClient:
 
     def wait_for_stop(self, timeout: float = 10.0,
                       min_count: int = 1) -> List[DebugView]:
-        """Block until at least *min_count* stop events have arrived."""
-        import time
+        """Block until at least *min_count* stop events have arrived.
+
+        Counts against the monotonic :attr:`stop_count`, so the bound on
+        :attr:`stop_history` can never make a waiter miscount; returns
+        the retained history tail.
+        """
         deadline = time.monotonic() + timeout
         with self._stop_signal:
-            while len(self.stop_history) < min_count:
+            while self.stop_count < min_count:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise ViewError(
-                        f"only {len(self.stop_history)}/{min_count} stops "
+                        f"only {self.stop_count}/{min_count} stops "
                         f"within {timeout:.1f}s")
                 self._stop_signal.wait(remaining)
             return list(self.stop_history)
@@ -338,38 +379,151 @@ class DebugClient:
     def stopped_views(self) -> List[DebugView]:
         return [v for v in self.views() if v.is_stopped]
 
-    # -- cluster-wide telemetry ---------------------------------------------------
+    # -- cluster-wide fan-out (scatter-gather) -------------------------------------
+
+    def cluster_request(self, command: str, args: Optional[dict] = None,
+                        timeout: Optional[float] = None,
+                        sessions: Optional[List[DebugSession]] = None,
+                        ) -> Tuple[Dict[int, Any], Dict[int, str]]:
+        """Issue *command* to every live session concurrently.
+
+        The scatter leg pipelines one request per session onto the
+        shared reactor (no per-pid round trips); the gather leg collects
+        under ONE deadline, so total sweep time scales with the slowest
+        responder, not with the session count.  Returns
+        ``(results_by_pid, errors_by_pid)`` — a pid that errors or times
+        out becomes a *hole*, recorded in the errors dict AND in the obs
+        ringlog (``debug_event``), never an aborted sweep.
+        """
+        targets = self.sessions() if sessions is None else sessions
+        calls: Dict[int, PendingCall] = {}
+        errors: Dict[int, str] = {}
+        for session in targets:
+            try:
+                calls[session.pid] = session.request_async(command, args)
+            except (ReproError, OSError) as exc:
+                errors[session.pid] = f"{type(exc).__name__}: {exc}"
+        if timeout is None:
+            timeout = max((s.request_timeout for s in targets),
+                          default=10.0)
+        deadline = time.monotonic() + timeout
+        results: Dict[int, Any] = {}
+        for pid, call in calls.items():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                results[pid] = call.wait(remaining)
+            except (ReproError, OSError) as exc:
+                errors[pid] = f"{type(exc).__name__}: {exc}"
+        for pid, why in errors.items():
+            # The hole must be diagnosable after the sweep returns, not
+            # only present in the dict the caller may drop.
+            debug_event("client",
+                        f"cluster {command!r}: hole at pid {pid}: {why}")
+        if errors:
+            obs_metrics.inc("client.cluster_holes", len(errors),
+                            command=command)
+        return results, errors
 
     def cluster_telemetry(self, reset: bool = False,
                           include_client: bool = True,
-                          ringlog_limit: int = 500) -> dict:
+                          ringlog_limit: int = 500,
+                          timeout: Optional[float] = None) -> dict:
         """Pull the ``telemetry`` snapshot from every live session.
 
-        One round trip per debuggee; a session that dies mid-poll is
-        recorded under ``"errors"`` rather than aborting the sweep — a
-        cluster snapshot with a hole beats no snapshot during a crash.
-        The client process's own registry rides along (``"client"``) so
-        an export shows both sides of every command round trip.
+        Scatter-gather: one batch of pipelined requests, gathered under
+        a single deadline — a 200-worker sweep costs ~one round trip,
+        not 200.  A session that dies mid-poll is recorded under
+        ``"errors"`` (and in the ringlog) rather than aborting the sweep
+        — a cluster snapshot with a hole beats no snapshot during a
+        crash.  The client process's own registry rides along
+        (``"client"``), and ``"fleet"`` aggregates per-session heartbeat
+        health so one slow worker is visible without reading N blobs.
         """
-        from ..util.errors import ReproError
-        processes: Dict[int, dict] = {}
-        errors: Dict[int, str] = {}
-        for session in self.sessions():
-            try:
-                processes[session.pid] = session.request(
-                    "telemetry", {"reset": reset,
-                                  "ringlog_limit": ringlog_limit})
-            except (ReproError, OSError) as exc:
-                errors[session.pid] = f"{type(exc).__name__}: {exc}"
+        processes, errors = self.cluster_request(
+            "telemetry", {"reset": reset, "ringlog_limit": ringlog_limit},
+            timeout=timeout)
         out: dict = {"processes": processes}
         if errors:
             out["errors"] = errors
+        out["fleet"] = self.fleet_health()
         if include_client:
             from .. import obs
             client_snap = obs.telemetry_snapshot(
                 reset=reset, ringlog_limit=ringlog_limit)
             client_snap["program"] = "dionea-client"
             out["client"] = client_snap
+        return out
+
+    def cluster_set_break(self, file: Optional[str] = None,
+                          line: Optional[int] = None,
+                          function: Optional[str] = None,
+                          condition: Optional[str] = None,
+                          temporary: bool = False,
+                          timeout: Optional[float] = None) -> dict:
+        """Set one breakpoint in EVERY attached debuggee at once.
+
+        The fleet analogue of ``set_break`` / ``set_function_break``:
+        scatter to all sessions, gather with a deadline.  Returns
+        ``{"breakpoints": {pid: result}, "errors": {pid: reason}}``.
+        """
+        if function is not None:
+            command = "set_function_break"
+            args: dict = {"function": function}
+        else:
+            if file is None or line is None:
+                raise ViewError("cluster_set_break needs file+line "
+                                "or function")
+            command = "set_break"
+            args = {"file": file, "line": line}
+        if condition is not None:
+            args["condition"] = condition
+        if temporary:
+            args["temporary"] = True
+        results, errors = self.cluster_request(command, args,
+                                               timeout=timeout)
+        return {"breakpoints": results, "errors": errors}
+
+    def cluster_continue(self,
+                         timeout: Optional[float] = None) -> dict:
+        """Resume every parked UE across the whole fleet (continue-all).
+
+        Fans ``resume_all`` out to every session concurrently; a pid
+        that cannot be resumed is a hole, not an abort.  Returns
+        ``{"resumed": {pid: result}, "errors": {pid: reason}}``.
+        """
+        results, errors = self.cluster_request("resume_all",
+                                               timeout=timeout)
+        return {"resumed": results, "errors": errors}
+
+    def fleet_health(self) -> dict:
+        """min/p50/max heartbeat aggregates across all live sessions.
+
+        The 200-worker question is never "what is worker 137's RTT" but
+        "is any worker slow" — so the sweep output leads with the
+        distribution: RTT last/min/max/p50 across sessions plus the
+        worst miss-budget usage, with the offending pid named.
+        """
+        stats = [s.heartbeat_stats() for s in self.sessions()]
+        rtts = sorted((st["rtt_last"], st["pid"]) for st in stats
+                      if st["rtt_last"] is not None)
+        out: dict = {"sessions": len(stats),
+                     "heartbeats_seen": sum(st["rtt_count"]
+                                            for st in stats),
+                     "missed_beats": sum(st["missed_beats"]
+                                         for st in stats)}
+        if rtts:
+            out["rtt_seconds"] = {
+                "min": rtts[0][0],
+                "p50": rtts[len(rtts) // 2][0],
+                "max": rtts[-1][0],
+                "slowest_pid": rtts[-1][1],
+            }
+        budget_used = [(st["miss_budget_used"], st["pid"]) for st in stats
+                       if st["miss_budget_used"] is not None]
+        if budget_used:
+            worst = max(budget_used)
+            out["miss_budget_used"] = {"max": worst[0],
+                                       "worst_pid": worst[1]}
         return out
 
     # -- Output window / process tree -------------------------------------------

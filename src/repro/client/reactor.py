@@ -1,0 +1,441 @@
+"""ClientReactor: one event loop for every session's sockets.
+
+The paper's Fig. 1 promises "debug multiple processes from a single
+client"; this module is what makes that cheap at fleet scale.  Instead
+of three threads per :class:`~repro.client.session.DebugSession`
+(reader, event dispatcher, heartbeat), ONE selector loop owns every
+session's command and source sockets, and ONE dispatcher thread runs
+user-facing callbacks — so a 200-worker attach costs two client threads,
+not six hundred.
+
+Division of labour:
+
+* **reactor thread** — the selector loop.  Non-blocking framed I/O via
+  the resumable :class:`~repro.util.framing.SendBuffer` /
+  :class:`~repro.util.framing.RecvBuffer` pair, a timer wheel (heartbeat
+  ticks, portfile polls), and a command queue for cross-thread requests
+  (register, write-interest, close).  Nothing here may block: no
+  ``time.sleep``, no blocking ``recv`` — ``tools/lint_hotpath.py``
+  enforces this for the whole module.
+* **dispatcher thread** — runs deferred callbacks that are *allowed* to
+  block (stop handlers that issue requests, portfile dials).  Callbacks
+  are run strictly in submission order, which preserves per-session
+  event order.
+
+Requesting threads interact with the loop only through
+:meth:`ClientReactor.submit`, which appends the frame to the channel's
+write buffer, opportunistically pumps the socket inline (the common
+small-frame case completes without waking the loop at all), and arms
+write interest only when the kernel pushed back.  Per-channel write
+buffers are bounded: a submitter that outruns a stalled peer blocks on
+the channel's backpressure condition rather than buffering without
+limit (the reactor thread itself never blocks — it drops heartbeat
+pings instead).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import queue
+import selectors
+import socket
+import threading
+from time import monotonic as _monotonic
+from time import perf_counter as _perf_counter
+from typing import Any, Callable, List, Optional
+
+from ..obs import metrics as obs_metrics
+from ..util.errors import FramingError
+from ..util.framing import RecvBuffer, SendBuffer, encode_frame
+
+#: Per-channel write-buffer bound; a submitting thread blocks (never the
+#: reactor thread) while a channel holds more unsent bytes than this.
+HIGH_WATER_BYTES = 1 << 20
+
+
+class Timer:
+    """One scheduled callback on the reactor's timer wheel."""
+
+    __slots__ = ("when", "fn", "cancelled")
+
+    def __init__(self, when: float, fn: Callable[[], None]):
+        self.when = when
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Channel:
+    """One registered socket: framing state + write queue + callbacks.
+
+    ``on_messages(list)`` runs on the reactor thread and must not block;
+    ``on_closed(reason)`` runs on the reactor thread when the peer goes
+    away (``reason`` is ``None`` for an orderly EOF, an exception for a
+    mid-frame loss).
+    """
+
+    def __init__(self, reactor: "ClientReactor", sock: socket.socket,
+                 on_messages: Callable[[List[Any]], None],
+                 on_closed: Callable[[Optional[BaseException]], None],
+                 label: str = "?"):
+        self.reactor = reactor
+        self.sock = sock
+        self.label = label
+        self.on_messages = on_messages
+        self.on_closed = on_closed
+        self.recvbuf = RecvBuffer()
+        self.sendbuf = SendBuffer()
+        self.cond = threading.Condition()
+        self.closed = False
+        #: reactor-thread-only: is EVENT_WRITE currently registered?
+        self.write_armed = False
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+
+class ClientReactor:
+    """Single-threaded selector loop multiplexing every client socket."""
+
+    def __init__(self, name: str = "dionea-reactor"):
+        self.name = name
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        os.set_blocking(self._wake_w, False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ,
+                                data=None)
+        #: thunks to run on the reactor thread (register/interest/close)
+        self._commands: "queue.SimpleQueue[Callable[[], None]]" = \
+            queue.SimpleQueue()
+        self._timers: List[tuple] = []
+        self._timer_seq = itertools.count()
+        self._channels: List[Channel] = []
+        self._lock = threading.Lock()
+        self._dispatch_queue: "queue.SimpleQueue[Optional[Callable]]" = \
+            queue.SimpleQueue()
+        self._stopping = False
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start loop + dispatcher threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise FramingError("reactor is closed")
+            if self._thread is not None:
+                return
+            self._thread = threading.Thread(
+                target=self._run, name=self.name, daemon=True)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name=f"{self.name}-events",
+                daemon=True)
+            self._thread.start()
+            self._dispatcher.start()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop both threads and close every registered socket."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stopping = True
+        self._wake()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+        self._dispatch_queue.put(None)
+        dispatcher = self._dispatcher
+        if (dispatcher is not None
+                and dispatcher is not threading.current_thread()):
+            dispatcher.join(timeout)
+        # The loop's finally closed registered sockets; if the loop never
+        # ran (close before first register), clean up directly.
+        if thread is None:
+            self._teardown()
+
+    # -- cross-thread API --------------------------------------------------
+
+    def register(self, sock: socket.socket,
+                 on_messages: Callable[[List[Any]], None],
+                 on_closed: Callable[[Optional[BaseException]], None],
+                 label: str = "?") -> Channel:
+        """Adopt *sock* into the loop; returns its :class:`Channel`.
+
+        The socket is switched to non-blocking mode; all further reads
+        happen on the reactor thread.  Starts the reactor on first use.
+        """
+        self.start()
+        sock.setblocking(False)
+        channel = Channel(self, sock, on_messages, on_closed, label=label)
+        self._call(lambda: self._do_register(channel))
+        return channel
+
+    def submit(self, channel: Channel, message: Any) -> None:
+        """Queue one framed *message* on *channel* and push it along.
+
+        Appends to the channel's resumable write buffer, pumps the
+        socket inline (so an uncontended small frame goes out with no
+        loop round-trip), and arms write interest if bytes remain.
+        Raises ``OSError`` if the channel is closed, and blocks on
+        backpressure when called from a non-reactor thread while the
+        buffer is above the high-water mark.
+        """
+        frame = encode_frame(message)
+        on_reactor_thread = threading.current_thread() is self._thread
+        failure: Optional[BaseException] = None
+        with channel.cond:
+            if not on_reactor_thread:
+                while (not channel.closed
+                       and channel.sendbuf.pending_bytes >= HIGH_WATER_BYTES):
+                    obs_metrics.inc("client.reactor_backpressure_waits")
+                    channel.cond.wait(0.5)
+            if channel.closed:
+                raise OSError(f"channel {channel.label} is closed")
+            if (on_reactor_thread
+                    and channel.sendbuf.pending_bytes >= HIGH_WATER_BYTES):
+                # The loop must never block on its own backpressure;
+                # drop loop-originated traffic (heartbeats) instead.
+                obs_metrics.inc("client.reactor_dropped_frames")
+                return
+            channel.sendbuf.append(frame)
+            obs_metrics.inc("client.reactor_tx_frames")
+            try:
+                drained = channel.sendbuf.pump(channel.sock)
+            except (FramingError, OSError) as exc:
+                failure = exc
+        if failure is not None:
+            self._call(lambda: self._do_close(channel, failure))
+            raise OSError(
+                f"send on {channel.label} failed: {failure}") from failure
+        if not drained:
+            self._call(lambda: self._do_arm_write(channel))
+
+    def close_channel(self, channel: Channel,
+                      shutdown: bool = True) -> None:
+        """Take *channel* out of the loop and close its socket."""
+        with channel.cond:
+            channel.closed = True
+            channel.cond.notify_all()
+        self._call(lambda: self._do_unregister(channel, shutdown))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Run *fn* on the reactor thread after *delay* seconds.
+
+        Starts the loop on first use: a timer may well be the client's
+        first interaction (``watch_portfile`` before any attach).
+        """
+        self.start()
+        timer = Timer(_monotonic() + max(0.0, delay), fn)
+        self._call(lambda: heapq.heappush(
+            self._timers, (timer.when, next(self._timer_seq), timer)))
+        return timer
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        """Run *fn* on the dispatcher thread (blocking allowed there)."""
+        self.start()
+        self._dispatch_queue.put(fn)
+
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread: deferred callbacks, submission order."""
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        while True:
+            fn = self._dispatch_queue.get()
+            if fn is None:
+                return
+            try:
+                fn()
+            except Exception:  # noqa: BLE001 - callbacks must not kill it
+                pass
+
+    # -- loop internals (reactor thread only unless noted) -----------------
+
+    def _call(self, thunk: Callable[[], None]) -> None:
+        """Run *thunk* on the loop thread: inline if already there."""
+        if threading.current_thread() is self._thread:
+            thunk()
+        else:
+            self._commands.put(thunk)
+            self._wake()
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass  # pipe full: the loop is already due to wake
+
+    def _do_register(self, channel: Channel) -> None:
+        if self._stopping:
+            self._do_unregister(channel, shutdown=False)
+            return
+        self._channels.append(channel)
+        try:
+            self._selector.register(channel, selectors.EVENT_READ,
+                                    data=channel)
+        except (KeyError, ValueError, OSError):
+            self._do_close(channel, None)
+
+    def _do_arm_write(self, channel: Channel) -> None:
+        if channel.closed or channel.write_armed:
+            return
+        try:
+            self._selector.modify(
+                channel, selectors.EVENT_READ | selectors.EVENT_WRITE,
+                data=channel)
+            channel.write_armed = True
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _do_disarm_write(self, channel: Channel) -> None:
+        if not channel.write_armed:
+            return
+        try:
+            self._selector.modify(channel, selectors.EVENT_READ,
+                                  data=channel)
+        except (KeyError, ValueError, OSError):
+            pass
+        channel.write_armed = False
+
+    def _do_unregister(self, channel: Channel, shutdown: bool) -> None:
+        try:
+            self._selector.unregister(channel)
+        except (KeyError, ValueError, OSError):
+            pass
+        if channel in self._channels:
+            self._channels.remove(channel)
+        if shutdown:
+            try:
+                channel.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        try:
+            channel.sock.close()
+        except OSError:
+            pass
+
+    def _do_close(self, channel: Channel,
+                  reason: Optional[BaseException]) -> None:
+        """Peer loss noticed by the loop: tear down + notify the owner."""
+        already = channel.closed
+        with channel.cond:
+            channel.closed = True
+            channel.cond.notify_all()
+        self._do_unregister(channel, shutdown=False)
+        if not already:
+            try:
+                channel.on_closed(reason)
+            except Exception:  # noqa: BLE001 - loop must survive owners
+                pass
+
+    def _service(self, channel: Channel, mask: int) -> None:
+        if mask & selectors.EVENT_WRITE:
+            failure: Optional[BaseException] = None
+            drained = False
+            with channel.cond:
+                try:
+                    drained = channel.sendbuf.pump(channel.sock)
+                except (FramingError, OSError) as exc:
+                    failure = exc
+                if drained:
+                    channel.cond.notify_all()
+            if failure is not None:
+                self._do_close(channel, failure)
+                return
+            if drained:
+                self._do_disarm_write(channel)
+        if mask & selectors.EVENT_READ:
+            try:
+                messages, eof = channel.recvbuf.pump(channel.sock)
+            except (FramingError, OSError) as exc:
+                self._do_close(channel, exc)
+                return
+            if messages:
+                obs_metrics.inc("client.reactor_rx_frames", len(messages))
+                try:
+                    channel.on_messages(messages)
+                except Exception:  # noqa: BLE001 - loop must survive owners
+                    pass
+            if eof:
+                self._do_close(channel, None)
+
+    def _run_timers(self) -> None:
+        now = _monotonic()
+        while self._timers and self._timers[0][0] <= now:
+            _when, _seq, timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            try:
+                timer.fn()
+            except Exception:  # noqa: BLE001 - loop must survive owners
+                pass
+
+    def _next_timeout(self) -> Optional[float]:
+        while self._timers and self._timers[0][2].cancelled:
+            heapq.heappop(self._timers)
+        if not self._timers:
+            return None
+        return max(0.0, self._timers[0][0] - _monotonic())
+
+    def _run(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        try:
+            while not self._stopping:
+                events = self._selector.select(self._next_timeout())
+                tick_start = _perf_counter()
+                for key, mask in events:
+                    if key.data is None:
+                        try:
+                            os.read(self._wake_r, 4096)
+                        except OSError:
+                            pass
+                    else:
+                        self._service(key.data, mask)
+                while True:
+                    try:
+                        thunk = self._commands.get_nowait()
+                    except queue.Empty:
+                        break
+                    thunk()
+                self._run_timers()
+                if events:
+                    # Loop lag: how long one batch of ready events holds
+                    # the single loop — every session queues behind it.
+                    obs_metrics.observe("client.reactor_tick_seconds",
+                                        _perf_counter() - tick_start)
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        for channel in list(self._channels):
+            self._do_close(channel, None)
+        try:
+            self._selector.close()
+        except OSError:
+            pass
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    # -- introspection ------------------------------------------------------
+
+    def channel_count(self) -> int:
+        return len(self._channels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClientReactor {self.name} channels={len(self._channels)} "
+                f"running={self.running}>")

@@ -7,9 +7,12 @@ debuggee process (1 client : N servers, 1 server : 1 client).
 Each session owns the client side of the paper's socket layout: the
 **command** connection (requests, responses, asynchronous events) and the
 **source** connection (source-sync requests only, strictly
-request/response).  A dedicated reader thread drains the command socket,
-correlating responses to pending requests by id and handing events to the
-owning client.
+request/response).  Both sockets are multiplexed onto a shared
+:class:`~repro.client.reactor.ClientReactor` — no per-session threads.
+Responses correlate to pending requests by id, which also gives the
+session **pipelining**: any number of requests may be in flight at once
+(:meth:`DebugSession.request_async`), completing out of order as the
+server answers.  Heartbeats ride the reactor's timer wheel.
 """
 
 from __future__ import annotations
@@ -33,16 +36,77 @@ from ..util.errors import (
     SessionError,
     SessionLostError,
 )
-from ..util.framing import recv_frame, send_frame
+from ..util.framing import recv_frame
 from ..util.ids import UEId
+from .reactor import Channel, ClientReactor
 
 
-class _PendingRequest:
-    __slots__ = ("event", "response")
+class PendingCall:
+    """One in-flight request: a future resolved by the reactor.
 
-    def __init__(self) -> None:
-        self.event = threading.Event()
-        self.response: Optional[dict] = None
+    Returned by :meth:`DebugSession.request_async`; any number may be
+    outstanding per session at once (pipelining).  :meth:`wait` applies
+    the same error contract as the blocking :meth:`DebugSession.request`.
+    """
+
+    __slots__ = ("session", "command", "request_id", "args",
+                 "_event", "_response", "_failure", "_sent_at")
+
+    def __init__(self, session: "DebugSession", command: str,
+                 request_id: int, args: Optional[dict]):
+        self.session = session
+        self.command = command
+        self.request_id = request_id
+        self.args = args
+        self._event = threading.Event()
+        self._response: Optional[dict] = None
+        self._failure: Optional[BaseException] = None
+        self._sent_at = _perf_counter()
+
+    # -- resolution (reactor thread) ---------------------------------------
+
+    def _complete(self, response: Optional[dict]) -> None:
+        self._response = response
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._failure = exc
+        self._event.set()
+
+    # -- caller side -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block for the response; raise exactly like ``request()``."""
+        session = self.session
+        deadline = timeout if timeout is not None \
+            else session.request_timeout
+        if not self._event.wait(deadline):
+            session._forget(self.request_id)
+            obs_metrics.inc("client.request_timeouts", command=self.command)
+            raise RequestTimeoutError(
+                f"no response to {self.command!r} from pid {session.pid} "
+                f"within {deadline:.1f}s")
+        obs_metrics.observe("client.request_seconds",
+                            _perf_counter() - self._sent_at,
+                            command=self.command)
+        if self._failure is not None:
+            raise self._failure
+        response = self._response
+        if response is None:
+            raise session._closed_error(
+                f"session to pid {session.pid} closed while waiting "
+                f"for {self.command!r}")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise CommandError(error.get("message", "unknown server error"))
+        result = response.get("result")
+        session._record_breakpoint_intent(self.command, self.args or {},
+                                          result)
+        return result
 
 
 class DebugSession:
@@ -54,7 +118,8 @@ class DebugSession:
                  request_timeout: float = 10.0,
                  heartbeat_interval: float = 2.0,
                  heartbeat_misses: int = 3,
-                 resume_token: Optional[str] = None):
+                 resume_token: Optional[str] = None,
+                 reactor: Optional[ClientReactor] = None):
         self.host = host
         self.port = port
         self.session_id = session_id
@@ -65,7 +130,7 @@ class DebugSession:
         self.heartbeat_misses = max(1, heartbeat_misses)
         self._on_event = on_event
         self._request_ids = itertools.count(1)
-        self._pending: Dict[int, _PendingRequest] = {}
+        self._pending: Dict[int, PendingCall] = {}
         self._pending_lock = threading.Lock()
         self._closed = threading.Event()
         self._source_lock = threading.Lock()
@@ -75,15 +140,33 @@ class DebugSession:
         self._server_exited = False
         self._last_pong = time.monotonic()
         #: in-flight heartbeat send stamps, seq -> monotonic send time;
-        #: written by the heartbeat thread, popped by the reader thread
+        #: written and popped on the reactor thread only
         self._ping_sent: Dict[int, float] = {}
+        self._hb_seq = 0
+        #: heartbeat RTT accounting for the fleet aggregate view
+        self._hb_stats_lock = threading.Lock()
+        self._hb_rtt_last: Optional[float] = None
+        self._hb_rtt_min: Optional[float] = None
+        self._hb_rtt_max: Optional[float] = None
+        self._hb_rtt_sum = 0.0
+        self._hb_rtt_count = 0
+        self._hb_missed_beats = 0
         #: client-side record of debugging intent, for reattach resync:
         #: server breakpoint id -> (command, args) that created it
         self._bp_log: Dict[int, tuple] = {}
         self._bp_lock = threading.Lock()
 
+        # The shared loop (one per client); a standalone session builds
+        # a private one so the constructor keeps working without a
+        # DebugClient around it.
+        self._reactor = reactor if reactor is not None else ClientReactor(
+            name=f"dionea-reactor-{session_id}")
+        self._owns_reactor = reactor is None
+
         token = f"client-{session_id}"
-        # Command channel first: its hello_ack carries the debuggee identity.
+        # Command channel first: its hello_ack carries the debuggee
+        # identity.  The handshake is the one blocking exchange; after
+        # it, the socket is handed to the reactor and never blocks again.
         self._command_sock = connect_endpoint(
             host, port, protocol.ROLE_COMMAND, pid=0,
             session_token=token, timeout=connect_timeout,
@@ -91,6 +174,8 @@ class DebugSession:
         ack = recv_frame(self._command_sock)
         if not isinstance(ack, dict) or ack.get("type") != "hello_ack":
             self._command_sock.close()
+            if self._owns_reactor:
+                self._reactor.close()
             raise HandshakeError(f"bad hello_ack from {host}:{port}: {ack!r}")
         self.pid: int = ack["pid"]
         self.parent_pid: int = ack["parent_pid"]
@@ -102,39 +187,37 @@ class DebugSession:
         self.resumed: bool = bool(ack.get("resumed", False))
 
         # Source-sync channel (the paper's second data socket).
-        self._source_sock = connect_endpoint(
-            host, port, protocol.ROLE_SOURCE, pid=0,
-            session_token=token, timeout=connect_timeout)
-        src_ack = recv_frame(self._source_sock)
+        try:
+            self._source_sock = connect_endpoint(
+                host, port, protocol.ROLE_SOURCE, pid=0,
+                session_token=token, timeout=connect_timeout)
+            src_ack = recv_frame(self._source_sock)
+        except (OSError, FramingError):
+            self._command_sock.close()
+            if self._owns_reactor:
+                self._reactor.close()
+            raise
         if not isinstance(src_ack, dict) or src_ack.get("type") != "hello_ack":
-            self.close()
+            self._command_sock.close()
+            self._source_sock.close()
+            if self._owns_reactor:
+                self._reactor.close()
             raise HandshakeError("bad hello_ack on source channel")
-        self._command_sock.settimeout(None)
-        # The source channel is strict request/response, so a socket
-        # timeout IS its per-request deadline.
-        self._source_sock.settimeout(request_timeout)
 
-        # Events are dispatched on their own thread: handlers routinely
-        # issue blocking requests (e.g. auto-resume on stop), and a
-        # handler running on the reader thread could never see its own
-        # response arrive.
-        import queue as _queue
-        self._event_queue: "_queue.Queue" = _queue.Queue()
-        self._dispatcher = threading.Thread(
-            target=self._dispatch_loop, name=f"dionea-events-{self.pid}",
-            daemon=True)
-        self._dispatcher.start()
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"dionea-session-{self.pid}",
-            daemon=True)
-        self._reader.start()
-        self._heartbeat: Optional[threading.Thread] = None
+        # Hand both sockets to the loop; from here on, all I/O is
+        # non-blocking and every callback below runs on reactor threads.
+        self._cmd_channel: Channel = self._reactor.register(
+            self._command_sock, self._on_command_messages,
+            self._on_command_closed, label=f"cmd-{self.pid}")
+        self._src_channel: Channel = self._reactor.register(
+            self._source_sock, self._on_source_messages,
+            self._on_source_closed, label=f"src-{self.pid}")
+
+        self._hb_timer = None
         if self.heartbeat_interval > 0:
             self._last_pong = time.monotonic()
-            self._heartbeat = threading.Thread(
-                target=self._heartbeat_loop,
-                name=f"dionea-heartbeat-{self.pid}", daemon=True)
-            self._heartbeat.start()
+            self._hb_timer = self._reactor.call_later(
+                self.heartbeat_interval, self._heartbeat_tick)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -159,42 +242,57 @@ class DebugSession:
         if self._closed.is_set() or self.lost_reason is not None:
             return
         self.lost_reason = reason
-        # The lost event must enter the queue before close()'s sentinel
-        # so the dispatcher delivers it before shutting down.
-        event_queue = getattr(self, "_event_queue", None)
-        if event_queue is not None:
-            event_queue.put(protocol.make_event(
-                protocol.EV_SESSION_LOST,
-                {"pid": self.pid, "reason": reason}))
+        # The lost event must be queued before close() so the dispatcher
+        # delivers it (close never purges queued callbacks).
+        message = protocol.make_event(
+            protocol.EV_SESSION_LOST, {"pid": self.pid, "reason": reason})
+        self._reactor.defer(lambda: self._deliver_event(message))
         self.close()
 
     def close(self) -> None:
         if self._closed.is_set():
             return
         self._closed.set()
-        for sock in (getattr(self, "_command_sock", None),
-                     getattr(self, "_source_sock", None)):
-            if sock is not None:
-                try:
-                    sock.shutdown(socket.SHUT_RDWR)
-                except OSError:
-                    pass
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+        if self._hb_timer is not None:
+            self._hb_timer.cancel()
+        for channel in (getattr(self, "_cmd_channel", None),
+                        getattr(self, "_src_channel", None)):
+            if channel is not None:
+                self._reactor.close_channel(channel)
         # Fail any requester still waiting.
         with self._pending_lock:
             pending = list(self._pending.values())
             self._pending.clear()
         for entry in pending:
-            entry.event.set()
-        # Stop the dispatcher (None sentinel).
-        event_queue = getattr(self, "_event_queue", None)
-        if event_queue is not None:
-            event_queue.put(None)
+            entry._complete(None)
+        if self._owns_reactor:
+            self._reactor.close()
 
     # -- request/response over the command channel ------------------------------------
+
+    def request_async(self, command: str,
+                      args: Optional[dict] = None) -> PendingCall:
+        """Issue one command without waiting: the pipelining primitive.
+
+        Any number of calls may be outstanding; the reactor completes
+        each as its response arrives, in whatever order the server
+        answers.  Raises :class:`SessionLostError` /
+        :class:`SessionError` if the send itself fails.
+        """
+        if self._closed.is_set():
+            raise self._closed_error(f"session to pid {self.pid} is closed")
+        request_id = next(self._request_ids)
+        call = PendingCall(self, command, request_id, args)
+        with self._pending_lock:
+            self._pending[request_id] = call
+        try:
+            self._reactor.submit(
+                self._cmd_channel,
+                protocol.make_request(request_id, command, args))
+        except (OSError, FramingError) as exc:
+            self._forget(request_id)
+            raise SessionLostError(f"send failed: {exc}") from exc
+        return call
 
     def request(self, command: str, args: Optional[dict] = None,
                 timeout: Optional[float] = None) -> Any:
@@ -206,44 +304,11 @@ class DebugSession:
         mid-request (:class:`SessionLostError` — raised immediately on
         disconnect, not after the deadline).
         """
-        if self._closed.is_set():
-            raise self._closed_error(f"session to pid {self.pid} is closed")
-        request_id = next(self._request_ids)
-        entry = _PendingRequest()
+        return self.request_async(command, args).wait(timeout)
+
+    def _forget(self, request_id: int) -> None:
         with self._pending_lock:
-            self._pending[request_id] = entry
-        t0 = _perf_counter()
-        try:
-            send_frame(self._command_sock,
-                       protocol.make_request(request_id, command, args))
-        except OSError as exc:
-            with self._pending_lock:
-                self._pending.pop(request_id, None)
-            raise SessionLostError(f"send failed: {exc}") from exc
-        deadline = timeout if timeout is not None else self.request_timeout
-        if not entry.event.wait(deadline):
-            with self._pending_lock:
-                self._pending.pop(request_id, None)
-            obs_metrics.inc("client.request_timeouts", command=command)
-            raise RequestTimeoutError(
-                f"no response to {command!r} from pid {self.pid} "
-                f"within {deadline:.1f}s")
-        # Full client-observed round trip: frame encode → wire → reactor
-        # queue → dispatch → response decode.  Compare against the
-        # server's server.command_seconds to locate where time goes.
-        obs_metrics.observe("client.request_seconds",
-                            _perf_counter() - t0, command=command)
-        response = entry.response
-        if response is None:
-            raise self._closed_error(
-                f"session to pid {self.pid} closed while waiting "
-                f"for {command!r}")
-        if not response.get("ok", False):
-            error = response.get("error") or {}
-            raise CommandError(error.get("message", "unknown server error"))
-        result = response.get("result")
-        self._record_breakpoint_intent(command, args or {}, result)
-        return result
+            self._pending.pop(request_id, None)
 
     def _closed_error(self, message: str) -> SessionError:
         if self.lost_reason is not None:
@@ -282,108 +347,162 @@ class DebugSession:
             args["end"] = end
         with self._source_lock:
             request_id = next(self._request_ids)
-            send_frame(self._source_sock,
-                       protocol.make_request(request_id, "source", args))
+            call = PendingCall(self, "source", request_id, args)
+            with self._pending_lock:
+                self._pending[request_id] = call
             try:
-                response = recv_frame(self._source_sock)
-            except socket.timeout as exc:
+                self._reactor.submit(
+                    self._src_channel,
+                    protocol.make_request(request_id, "source", args))
+            except (OSError, FramingError) as exc:
+                self._forget(request_id)
+                raise SessionLostError(
+                    f"source channel failed: {exc}") from exc
+            try:
+                return call.wait(self.request_timeout)
+            except RequestTimeoutError as exc:
                 raise RequestTimeoutError(
                     f"no source response from pid {self.pid} within "
                     f"{self.request_timeout:.1f}s") from exc
-            except (FramingError, OSError) as exc:
-                raise SessionLostError(
-                    f"source channel failed: {exc}") from exc
-        if response is None:
-            raise SessionError("source channel closed")
-        if not response.get("ok", False):
-            error = response.get("error") or {}
-            raise CommandError(error.get("message", "source fetch failed"))
-        return response["result"]
 
-    # -- reader thread ---------------------------------------------------------------------
+    # -- reactor callbacks (reactor thread; must not block) ---------------------------
 
-    def _read_loop(self) -> None:
-        from ..util.ids import untrace_current_thread
-        untrace_current_thread()  # infra thread: never a debuggee UE
-        while not self._closed.is_set():
-            try:
-                message = recv_frame(self._command_sock)
-            except (FramingError, OSError):
-                break
-            if message is None:
-                break
+    def _on_command_messages(self, messages: List[dict]) -> None:
+        for message in messages:
+            if not isinstance(message, dict):
+                continue
             mtype = message.get("type")
             if mtype == "response":
                 self._complete(message)
             elif mtype == "pong":
-                self._last_pong = time.monotonic()
-                sent = self._ping_sent.pop(message.get("seq"), None)
-                if sent is not None:
-                    # Heartbeat RTT doubles as a liveness latency probe:
-                    # the pong is answered inline on the reactor thread,
-                    # so this histogram IS the reactor's responsiveness
-                    # as seen from outside the debuggee.
-                    obs_metrics.observe("client.heartbeat_rtt_seconds",
-                                        time.monotonic() - sent)
+                self._note_pong(message)
             elif mtype == "event":
                 if message.get("event") == protocol.EV_SERVER_EXIT:
                     # Orderly farewell: the EOF that follows is expected.
                     self._server_exited = True
-                self._event_queue.put(message)
+                self._reactor.defer(
+                    lambda m=message: self._deliver_event(m))
+
+    def _on_source_messages(self, messages: List[dict]) -> None:
+        for message in messages:
+            if isinstance(message, dict) and message.get("type") == "response":
+                self._complete(message)
+
+    def _on_command_closed(self, reason: Optional[BaseException]) -> None:
         if not self._closed.is_set() and not self._server_exited:
             # The stream died under us with no farewell: a crashed or
             # SIGKILLed server.  Fail pending requests *now* — their
             # deadlines would only add latency to a known-dead peer.
             self.declare_lost("command channel closed unexpectedly")
-        self.close()
+        else:
+            self.close()
 
-    def _heartbeat_loop(self) -> None:
-        from ..util.ids import untrace_current_thread
-        untrace_current_thread()  # infra thread: never a debuggee UE
-        interval = self.heartbeat_interval
-        budget = interval * self.heartbeat_misses
-        seq = 0
-        while not self._closed.wait(interval):
-            seq += 1
+    def _on_source_closed(self, reason: Optional[BaseException]) -> None:
+        # A dead source channel fails any in-flight source fetch at
+        # once; the session itself lives or dies by the command channel.
+        with self._pending_lock:
+            stranded = [c for c in self._pending.values()
+                        if c.command == "source"]
+            for call in stranded:
+                self._pending.pop(call.request_id, None)
+        for call in stranded:
+            call._fail(SessionLostError(
+                f"source channel to pid {self.pid} closed"))
+
+    def _note_pong(self, message: dict) -> None:
+        now = time.monotonic()
+        self._last_pong = now
+        sent = self._ping_sent.pop(message.get("seq"), None)
+        if sent is not None:
+            rtt = now - sent
+            # Heartbeat RTT doubles as a liveness latency probe: the
+            # pong is answered inline on the server's reactor thread,
+            # so this histogram IS the server reactor's responsiveness
+            # as seen from outside the debuggee.
+            obs_metrics.observe("client.heartbeat_rtt_seconds", rtt)
+            with self._hb_stats_lock:
+                self._hb_rtt_last = rtt
+                self._hb_rtt_min = rtt if self._hb_rtt_min is None \
+                    else min(self._hb_rtt_min, rtt)
+                self._hb_rtt_max = rtt if self._hb_rtt_max is None \
+                    else max(self._hb_rtt_max, rtt)
+                self._hb_rtt_sum += rtt
+                self._hb_rtt_count += 1
+
+    def _deliver_event(self, message: dict) -> None:
+        """Dispatcher thread: the one place user callbacks run."""
+        if self._on_event is not None:
             try:
-                self._ping_sent[seq] = time.monotonic()
-                if len(self._ping_sent) > 2 * self.heartbeat_misses:
-                    # A dead or stalled peer never pops entries; trim the
-                    # oldest so the in-flight map stays bounded.
-                    oldest = min(self._ping_sent)
-                    self._ping_sent.pop(oldest, None)
-                send_frame(self._command_sock, protocol.make_ping(seq))
-            except OSError:
-                self.declare_lost("heartbeat ping could not be sent")
-                return
-            # The pong for this ping may take up to `interval` to matter;
-            # what we police is silence across the whole miss budget.
-            silence = time.monotonic() - self._last_pong
-            if silence > budget:
-                self.declare_lost(
-                    f"no heartbeat ack for {silence:.1f}s "
-                    f"({self.heartbeat_misses} beats missed)")
-                return
-
-    def _dispatch_loop(self) -> None:
-        from ..util.ids import untrace_current_thread
-        untrace_current_thread()  # infra thread: never a debuggee UE
-        while True:
-            message = self._event_queue.get()
-            if message is None:
-                return
-            if self._on_event is not None:
-                try:
-                    self._on_event(self, message)
-                except Exception:  # noqa: BLE001 - user callback
-                    pass
+                self._on_event(self, message)
+            except Exception:  # noqa: BLE001 - user callback
+                pass
 
     def _complete(self, response: dict) -> None:
         with self._pending_lock:
             entry = self._pending.pop(response.get("id"), None)
         if entry is not None:
-            entry.response = response
-            entry.event.set()
+            entry._complete(response)
+
+    # -- heartbeat (reactor timer wheel) ----------------------------------------------
+
+    def _heartbeat_tick(self) -> None:
+        if self._closed.is_set():
+            return
+        interval = self.heartbeat_interval
+        budget = interval * self.heartbeat_misses
+        self._hb_seq += 1
+        seq = self._hb_seq
+        self._ping_sent[seq] = time.monotonic()
+        if len(self._ping_sent) > 2 * self.heartbeat_misses:
+            # A dead or stalled peer never pops entries; trim the
+            # oldest so the in-flight map stays bounded.
+            oldest = min(self._ping_sent)
+            self._ping_sent.pop(oldest, None)
+        try:
+            self._reactor.submit(self._cmd_channel, protocol.make_ping(seq))
+        except (OSError, FramingError):
+            self.declare_lost("heartbeat ping could not be sent")
+            return
+        # The pong for this ping may take up to `interval` to matter;
+        # what we police is silence across the whole miss budget.
+        silence = time.monotonic() - self._last_pong
+        if silence > interval:
+            with self._hb_stats_lock:
+                self._hb_missed_beats += 1
+        if silence > budget:
+            self.declare_lost(
+                f"no heartbeat ack for {silence:.1f}s "
+                f"({self.heartbeat_misses} beats missed)")
+            return
+        self._hb_timer = self._reactor.call_later(interval,
+                                                  self._heartbeat_tick)
+
+    def heartbeat_stats(self) -> Dict[str, Any]:
+        """Per-session heartbeat health, for the fleet aggregate view.
+
+        ``miss_budget_used`` is current silence over the whole budget —
+        0.0 right after a pong, 1.0 at the loss verdict — so one slow
+        worker stands out in a 200-session sweep long before it is
+        declared lost.
+        """
+        interval = self.heartbeat_interval
+        budget = interval * self.heartbeat_misses if interval > 0 else 0.0
+        silence = time.monotonic() - self._last_pong
+        with self._hb_stats_lock:
+            return {
+                "pid": self.pid,
+                "interval": interval,
+                "rtt_last": self._hb_rtt_last,
+                "rtt_min": self._hb_rtt_min,
+                "rtt_max": self._hb_rtt_max,
+                "rtt_mean": (self._hb_rtt_sum / self._hb_rtt_count
+                             if self._hb_rtt_count else None),
+                "rtt_count": self._hb_rtt_count,
+                "missed_beats": self._hb_missed_beats,
+                "silence_seconds": silence if interval > 0 else None,
+                "miss_budget_used": (min(1.0, silence / budget)
+                                     if budget > 0 else None),
+            }
 
     # -- convenience ---------------------------------------------------------------------------
 

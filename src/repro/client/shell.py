@@ -406,6 +406,19 @@ class Shell:
                 lines.extend(self._render_metrics(snap, indent="  "))
             for pid, err in sorted(sweep.get("errors", {}).items()):
                 lines.append(f"process {pid}: telemetry failed: {err}")
+            fleet = sweep.get("fleet") or {}
+            if fleet.get("sessions"):
+                line = (f"fleet: {fleet['sessions']} sessions, "
+                        f"{fleet.get('heartbeats_seen', 0)} beats, "
+                        f"{fleet.get('missed_beats', 0)} missed")
+                rtt = fleet.get("rtt_seconds")
+                if rtt:
+                    line += (f"; hb rtt min/p50/max "
+                             f"{rtt['min'] * 1e3:.1f}/"
+                             f"{rtt['p50'] * 1e3:.1f}/"
+                             f"{rtt['max'] * 1e3:.1f} ms "
+                             f"(slowest pid {rtt['slowest_pid']})")
+                lines.append(line)
             client_snap = sweep.get("client")
             if client_snap:
                 lines.append("client (this process)")

@@ -504,3 +504,119 @@ def breakpoint_churn(ctx: ScenarioContext) -> None:
     ctx.details["churn_log"] = churn_log
     ctx.details["stops"] = {f"{p}:{ln}": n
                             for (p, ln), n in sorted(stops.items())}
+
+
+# ---------------------------------------------------------------------------
+# prefork_fleet: gunicorn-style master + N workers, one debug client
+# multiplexing every session on one reactor.  The fleet-scale claims the
+# client makes in unit/integration tests are re-proven here against real
+# processes: auto-attach to the whole tree, O(1) client threads however
+# many workers attach, and scatter-gather sweeps that cover every pid.
+
+#: worker count knob — the stress tier default stays small so one seed
+#: run fits the budget; the fleet benchmark raises it into the hundreds.
+FLEET_WORKERS_ENV = "DIONEA_FLEET_WORKERS"
+FLEET_DEFAULT_WORKERS = 8
+
+
+def _fleet_traffic(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i % 7          # synthetic request handling, traceable
+    return total
+
+
+@register_scenario("prefork_fleet")
+def prefork_fleet(ctx: ScenarioContext) -> None:
+    """Master forks N workers; the client debugs the whole fleet at once.
+
+    Topology mirrors a prefork WSGI server: a master under a Dionea
+    facade forks ``DIONEA_FLEET_WORKERS`` children (each inheriting a
+    debug server via the fork handlers), every worker serves synthetic
+    traffic until a stop file appears, and the master reaps them all.
+    The client auto-attaches via the rendezvous file and must observe:
+
+    * a session per process (master + N workers) — attach keeps up with
+      the fork storm;
+    * a constant number of client-side threads (the single-reactor
+      property, measured while the fleet is live);
+    * cluster sweeps (``status`` fan-out + ``cluster_telemetry``) that
+      cover every pid with zero holes while all workers are healthy.
+    """
+    from ..client import DebugClient
+    from ..core import Dionea
+
+    workers = int(os.environ.get(FLEET_WORKERS_ENV, FLEET_DEFAULT_WORKERS))
+    portfile = ctx.portfile()
+    ctx.defer(portfile.remove)
+    stop_path = f"{portfile.path}.stop"
+    ctx.defer(lambda: os.path.exists(stop_path) and os.unlink(stop_path))
+
+    def master() -> int:
+        faults.registry().reset()
+        debugger = Dionea(program="fleet-master",
+                          portfile_path=portfile.path, park_timeout=30.0)
+        debugger.start()
+
+        def worker() -> int:
+            while not os.path.exists(stop_path):
+                _fleet_traffic(50)
+                time.sleep(0.01)
+            return 0
+
+        children = []
+        for _ in range(workers):
+            pid = os.fork()
+            if pid == 0:
+                code = 70
+                try:
+                    code = worker()
+                finally:
+                    os._exit(code)
+            children.append(pid)
+        bad = sum(1 for pid in children if _reap(pid, timeout=40.0) != 0)
+        debugger.stop()
+        return bad
+
+    root = ctx.fork(master)
+
+    client = DebugClient()
+    ctx.defer(client.close)
+    client.watch_portfile(portfile)
+
+    want = workers + 1  # master announces too
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and len(client.sessions()) < want:
+        time.sleep(0.05)
+    attached = len(client.sessions())
+    assert attached == want, \
+        f"only {attached}/{want} sessions attached within 30s"
+
+    # The single-reactor property, measured against a LIVE fleet: the
+    # client's thread bill is the loop + the dispatcher, not O(workers).
+    fleet_threads = [t.name for t in threading.enumerate()
+                     if t.name.startswith("dionea-")]
+    assert len(fleet_threads) <= 2, \
+        f"client thread count grew with the fleet: {fleet_threads}"
+
+    sweep_log = []
+    for _sweep in range(3):
+        started = time.monotonic()
+        results, errors = client.cluster_request("status", timeout=15.0)
+        elapsed = time.monotonic() - started
+        assert errors == {}, f"healthy fleet produced holes: {errors}"
+        assert len(results) == want, \
+            f"sweep covered {len(results)}/{want} pids"
+        sweep_log.append(round(elapsed, 4))
+    snapshot = client.cluster_telemetry(timeout=15.0, include_client=False)
+    assert len(snapshot["processes"]) == want
+    assert "errors" not in snapshot
+    assert snapshot["fleet"]["sessions"] == want
+
+    with open(stop_path, "w", encoding="utf-8") as fh:
+        fh.write("stop")
+    code = ctx.wait_child(root, timeout=40.0)
+    assert code == 0, f"master reported {code} failed workers"
+    ctx.details["workers"] = workers
+    ctx.details["client_threads"] = fleet_threads
+    ctx.details["sweep_seconds"] = sweep_log

@@ -19,6 +19,10 @@ Two interfaces are provided:
 
 * :func:`encode_frame` / :class:`FrameDecoder` — sans-io, byte-buffer based,
   usable with ``selectors`` inside the Reactor listener thread;
+* :class:`SendBuffer` / :class:`RecvBuffer` — *resumable* non-blocking
+  buffers for the client reactor: a partial write or a short read parks
+  the remaining bytes and the next ``pump`` call picks up exactly where
+  the kernel stopped;
 * :func:`send_frame` / :func:`recv_frame` — blocking helpers over a socket
   or any object with ``sendall``/``recv``.
 """
@@ -27,7 +31,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, List, Optional, Tuple
 
 from .errors import FramingError
 
@@ -97,6 +101,111 @@ class FrameDecoder:
             payload = bytes(self._buffer[HEADER.size:end])
             del self._buffer[:end]
             yield decode_payload(payload)
+
+
+class SendBuffer:
+    """Resumable non-blocking write buffer for one socket.
+
+    Frames are appended whole (:meth:`append`); :meth:`pump` pushes as
+    many bytes as the kernel will take right now and returns ``True``
+    once the buffer is fully drained.  A short write leaves the unsent
+    tail in place — no byte is ever re-sent or dropped regardless of
+    where the kernel cut the write.  Shares the ``net.frame.send``
+    injection point with the blocking sender, so the testkit's
+    short-write and EINTR schedules exercise the resume path too.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: List[memoryview] = []
+        self._pending = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._pending
+
+    def __bool__(self) -> bool:
+        return self._pending > 0
+
+    def append(self, frame: bytes) -> None:
+        """Queue one already-encoded frame for transmission."""
+        if frame:
+            self._chunks.append(memoryview(frame))
+            self._pending += len(frame)
+
+    def append_message(self, message: Any) -> None:
+        self.append(encode_frame(message))
+
+    def pump(self, sock) -> bool:
+        """Write what the socket will take; True when fully drained.
+
+        ``EAGAIN`` and ``EINTR`` both mean "resume later" — the caller
+        (the reactor loop) keeps write interest registered and calls
+        again when the selector says the socket is writable.  Raises
+        :class:`FramingError` on a peer that closed mid-frame and lets
+        other ``OSError``\\ s propagate for the caller's dead-peer
+        handling.
+        """
+        while self._chunks:
+            view = self._chunks[0]
+            try:
+                budget = _io_fault("net.frame.send", len(view))
+                sent = sock.send(view[:budget])
+            except (BlockingIOError, InterruptedError):
+                return False
+            if sent == 0:
+                raise FramingError("connection closed mid-send")
+            self._pending -= sent
+            if sent == len(view):
+                self._chunks.pop(0)
+            else:
+                self._chunks[0] = view[sent:]
+        return True
+
+
+class RecvBuffer:
+    """Resumable non-blocking read side: socket → complete messages.
+
+    Wraps a :class:`FrameDecoder`; :meth:`pump` reads whatever bytes are
+    available right now and returns the complete messages they finish,
+    tolerating frames split at any byte boundary across any number of
+    pumps.  Shares the ``net.frame.recv`` injection point with the
+    blocking reader (short-read and EINTR schedules apply).
+    """
+
+    def __init__(self) -> None:
+        self._decoder = FrameDecoder()
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._decoder.pending_bytes
+
+    def pump(self, sock, budget: int = 65536) -> Tuple[List[Any], bool]:
+        """Drain readable bytes; returns ``(messages, eof)``.
+
+        ``eof`` is True on orderly close (empty read).  A close landing
+        *inside* a frame raises :class:`FramingError`.  ``EAGAIN`` /
+        ``EINTR`` end the pump with whatever was decoded so far — the
+        selector will re-arm the read.
+        """
+        messages: List[Any] = []
+        while True:
+            try:
+                allowed = _io_fault("net.frame.recv", budget)
+                data = sock.recv(allowed)
+            except (BlockingIOError, InterruptedError):
+                return messages, False
+            if not data:
+                if self._decoder.pending_bytes:
+                    raise FramingError(
+                        f"connection closed mid-frame "
+                        f"({self._decoder.pending_bytes} bytes buffered)")
+                return messages, True
+            self._decoder.feed(data)
+            messages.extend(self._decoder.messages())
+            if len(data) < allowed:
+                # The kernel gave less than asked: the queue is drained
+                # for now; returning avoids one guaranteed-EAGAIN call.
+                return messages, False
 
 
 def send_frame(sock, message: Any) -> None:

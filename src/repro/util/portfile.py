@@ -212,6 +212,9 @@ class PortFileWatcher:
     _thread: Optional[threading.Thread] = None
     _stop: threading.Event = field(default_factory=threading.Event)
     _next_gc: float = 0.0
+    #: external timer source (``scheduler(delay, fn)``) when the poll is
+    #: driven off a reactor timer wheel instead of a dedicated thread
+    _scheduler: Optional[Callable[[float, Callable[[], None]], object]] = None
 
     def poll_once(self) -> List[PortRecord]:
         """Process any unseen records; returns the new ones (for tests)."""
@@ -240,13 +243,39 @@ class PortFileWatcher:
                     self._seen.pop(reaped.pid, None)
         return fresh
 
-    def start(self) -> None:
-        if self._thread is not None:
+    def start(self, scheduler: Optional[
+            Callable[[float, Callable[[], None]], object]] = None) -> None:
+        """Begin polling.
+
+        Without *scheduler*, a dedicated daemon thread polls (the
+        standalone mode).  With one — any ``scheduler(delay, fn)`` that
+        runs ``fn`` after *delay* seconds, e.g. the client reactor's
+        timer wheel — the watcher owns NO thread: each tick polls once
+        and re-schedules itself, so fleet-scale clients pay zero threads
+        for auto-attach.
+        """
+        if self._thread is not None or self._scheduler is not None:
             raise RendezvousError("watcher already started")
         self._stop.clear()
+        if scheduler is not None:
+            self._scheduler = scheduler
+            scheduler(self.poll_interval, self._scheduled_tick)
+            return
         self._thread = threading.Thread(
             target=self._run, name="dionea-portfile-watcher", daemon=True)
         self._thread.start()
+
+    def _scheduled_tick(self) -> None:
+        """One reactor-driven poll; re-arms itself until stopped."""
+        if self._stop.is_set():
+            return
+        try:
+            self.poll_once()
+        except RendezvousError:
+            pass  # torn read: heals next pass, like the thread mode
+        scheduler = self._scheduler
+        if scheduler is not None and not self._stop.is_set():
+            scheduler(self.poll_interval, self._scheduled_tick)
 
     def _run(self) -> None:
         from .ids import untrace_current_thread
@@ -266,6 +295,7 @@ class PortFileWatcher:
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
+        self._scheduler = None
 
     def wait_for_pid(self, pid: int, timeout: float = 5.0) -> PortRecord:
         """Block until a record for *pid* appears (tests and CLI attach)."""

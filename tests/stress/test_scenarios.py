@@ -625,6 +625,22 @@ def test_breakpoint_churn_ten_seeds(offset):
 
 
 # ---------------------------------------------------------------------------
+# 14. Prefork fleet: gunicorn-style master + N workers, every session
+#     multiplexed onto the client's single reactor (body lives in
+#     repro.testkit.scenarios; the fleet benchmark reuses it at scale
+#     via DIONEA_FLEET_WORKERS).
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("offset", range(2))
+def test_prefork_fleet(offset):
+    body = SCENARIO_MATRIX["prefork_fleet"]
+    result = run_ok("prefork_fleet", body, seed=MASTER_SEED + 53 + offset)
+    assert len(result.details["client_threads"]) <= 2
+    assert len(result.details["sweep_seconds"]) == 3
+
+
+# ---------------------------------------------------------------------------
 # The scenario matrix: register this module's bodies so the registry in
 # repro.testkit.scenarios names the tier's full coverage in one place.
 
@@ -654,7 +670,7 @@ def test_matrix_names_every_scenario():
         "client_server_partial_frames", "child_death_mid_handshake",
         "connect_refused_then_recovers", "frame_delay_storm",
         "server_sigkilled_mid_command", "client_restart_reattach",
-        "breakpoint_churn",
+        "breakpoint_churn", "prefork_fleet",
     }
     assert all(callable(body) for body in SCENARIO_MATRIX.values())
 

@@ -87,6 +87,42 @@ def find_fastpath_metric_lookups(path: str) -> list:
     return hits
 
 
+#: The client reactor loop must never block: no sleeping, and no direct
+#: socket I/O calls — all I/O goes through the resumable SendBuffer /
+#: RecvBuffer pumps in repro.util.framing, and all waiting through the
+#: selector timeout.  A casually added ``time.sleep`` or ``sock.recv``
+#: in that module stalls EVERY attached session at once.
+REACTOR_MODULE = os.path.join("src", "repro", "client", "reactor.py")
+REACTOR_BANNED_ATTRS = {"sleep", "recv", "recv_into", "sendall",
+                        "recvfrom", "accept"}
+REACTOR_BANNED_NAMES = {"recv_frame", "send_frame", "sleep"}
+
+
+def find_reactor_blocking_calls(path: str) -> list:
+    """(lineno, source) for every blocking-looking call in the reactor.
+
+    Flags calls of ``<anything>.sleep/.recv/.recvfrom/.recv_into/
+    .sendall/.accept`` and bare calls of ``recv_frame``/``send_frame``/
+    ``sleep``.  (``SendBuffer.pump``'s own ``sock.send`` lives in
+    repro.util.framing, outside this module — by design.)
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in REACTOR_BANNED_ATTRS):
+            hits.append((node.lineno, f".{func.attr}(...)"))
+        elif (isinstance(func, ast.Name)
+                and func.id in REACTOR_BANNED_NAMES):
+            hits.append((node.lineno, f"{func.id}(...)"))
+    return hits
+
+
 def main(argv: list) -> int:
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -117,11 +153,22 @@ def main(argv: list) -> int:
             f"{rel}:{lineno}: {what} inside {FASTPATH_FUNCTION} "
             f"(no obs lookups on the global-trace fast path; use a "
             f"plain int + callback gauge)")
+    reactor_path = os.path.join(root, REACTOR_MODULE)
+    if not os.path.isfile(reactor_path):
+        print(f"lint-hotpath: missing {reactor_path}", file=sys.stderr)
+        return 2
+    for lineno, what in find_reactor_blocking_calls(reactor_path):
+        rel = os.path.relpath(reactor_path, root)
+        problems.append(
+            f"{rel}:{lineno}: blocking call {what} in the client "
+            f"reactor (the loop serves every session; wait via the "
+            f"selector, do I/O via the framing pumps)")
     if problems:
         print("\n".join(problems))
         return 1
     print(f"lint-hotpath: OK ({', '.join(HOT_PACKAGES)} are "
-          f"logging-free; {FASTPATH_FUNCTION} is obs-free)")
+          f"logging-free; {FASTPATH_FUNCTION} is obs-free; the client "
+          f"reactor has no blocking calls)")
     return 0
 
 
