@@ -4,7 +4,9 @@
 #                  via pyproject addopts); the gate every change must pass.
 #   make stress  — the seeded fault-injection scenarios in tests/stress
 #                  (pytest -m stress overrides the addopts exclusion).
-#   make check   — both tiers.
+#   make chaos   — the adversarial-debuggee do-no-harm sweep in
+#                  tests/chaos (each scenario across ≥10 seeds).
+#   make check   — all three tiers.
 #
 # Every target is wall-clock bounded so a wedged scenario kills the run
 # instead of the CI job.
@@ -13,6 +15,7 @@ PYTHON      ?= python
 PYTHONPATH  := src
 TIER1_LIMIT ?= 900
 STRESS_LIMIT ?= 600
+CHAOS_LIMIT ?= 900
 # Per-test cap (seconds), enforced inside pytest (pytest-timeout when
 # installed, SIGALRM fallback otherwise) so a single wedged test fails
 # with its name attached instead of burning the whole job limit.
@@ -20,7 +23,7 @@ TEST_TIMEOUT ?= 120
 
 BENCH_LIMIT ?= 900
 
-.PHONY: test stress check lint-hotpath bench bench-json bench-trace bench-fleet
+.PHONY: test stress chaos check lint-hotpath bench bench-json bench-trace bench-fleet bench-fork
 
 test:
 	timeout $(TIER1_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
@@ -29,6 +32,14 @@ test:
 stress:
 	timeout $(STRESS_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
 		DIONEA_TEST_TIMEOUT=$(TEST_TIMEOUT) $(PYTHON) -m pytest tests/stress -m stress
+
+# Adversarial debuggees (hung/raising/fork-calling handlers, exec,
+# daemonize, mid-fork SIGKILL) swept across seeds under the do-no-harm
+# harness: debugged output, exit status and forkability must be
+# byte-identical to the bare run.
+chaos:
+	timeout $(CHAOS_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		DIONEA_TEST_TIMEOUT=$(TEST_TIMEOUT) $(PYTHON) -m pytest tests/chaos -m chaos
 
 # Hot-path discipline: the tracing/forkhooks/mp/obs packages must never
 # import stdlib `logging` (module lock + eager formatting + I/O).
@@ -57,6 +68,14 @@ bench-fleet:
 	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
 		$(PYTHON) benchmarks/bench_fleet.py --out BENCH_fleet.json
 
-bench: bench-json bench-trace bench-fleet
+# Fork-latency artifact: the parent-side prepare-fast-path bracket cost
+# under an attached debugger, gated at ≤ 2× a bare fork(2); end-to-end
+# cycle medians recorded ungated for context.  Written to
+# BENCH_fork.json; nonzero exit on a gate breach.
+bench-fork:
+	timeout $(BENCH_LIMIT) env PYTHONPATH=$(PYTHONPATH) \
+		$(PYTHON) benchmarks/bench_fork.py --out BENCH_fork.json
 
-check: lint-hotpath test stress
+bench: bench-json bench-trace bench-fleet bench-fork
+
+check: lint-hotpath test stress chaos

@@ -1,0 +1,166 @@
+"""Fork-bracket overhead benchmark: what does the augmented fork cost?
+
+The do-no-harm invariant has a performance clause: the debuggee's
+ability to fork must survive the debugger not just functionally but
+economically.  The gated quantity is the **prepare fast path** — the
+parent-side work the augmented fork adds around ``fork(2)`` when
+nothing is wrong: phase A (sync-object sweep, trace disable, the
+quarantine check), phase B (re-enable, release), the bracket span and
+the clean-fork bookkeeping.  The budget: that addition may cost at
+most as much as a bare ``fork(2)`` itself, i.e. the augmented fork's
+parent-side latency stays ≤ ``--max-ratio`` (default 2×) bare.
+
+The bracket is timed on its own, without a fork between phases A and
+B: on a small (possibly single-CPU) runner, any window that spans a
+real fork also captures the child's post-fork interpreter fix-up and
+copy-on-write storms — real costs, but the child's and the kernel's,
+not the prepare fast path's.  The artifact still records the observed
+end-to-end cycle (fork → child exits → reap) for both arms,
+ungated, for context: the debugged child rebuilds a full debug
+server before it can run, and that rebuild is priced there.
+
+Acceptance gate: (bare + bracket) ≤ ``--max-ratio`` × bare, medians.
+Artifact written to ``BENCH_fork.json``; nonzero exit on a breach.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fork.py --out BENCH_fork.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+sys.path.insert(0, os.path.dirname(HERE))
+
+from benchmarks.envinfo import local_table1  # noqa: E402
+from repro.core import Dionea  # noqa: E402
+from repro.obs.spans import SPANS  # noqa: E402
+
+
+def time_fork_cycles(n: int, warmup: int = 10) -> list:
+    """Per-cycle wall times (seconds) for *n* fork → child ``_exit`` →
+    reap cycles with whatever ``os.fork`` currently is."""
+    samples = []
+    for i in range(warmup + n):
+        start = time.perf_counter()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        if i >= warmup:
+            samples.append(time.perf_counter() - start)
+    return samples
+
+
+def time_bare_fork_returns(n: int, warmup: int = 10) -> list:
+    """Parent-side latency of the bare fork call alone (return from
+    ``os.fork`` in the parent); the reap happens outside the window."""
+    samples = []
+    for i in range(warmup + n):
+        start = time.perf_counter()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        elapsed = time.perf_counter() - start
+        os.waitpid(pid, 0)
+        if i >= warmup:
+            samples.append(elapsed)
+    return samples
+
+
+def time_bracket(dionea: Dionea, n: int, warmup: int = 10) -> list:
+    """Per-call cost of the parent-side bracket additions on the
+    prepare fast path: phases A and B, the bracket span, and the
+    clean-fork bookkeeping — everything the augmented fork runs in the
+    parent besides ``fork(2)`` itself."""
+    registry = dionea.fork_registry
+    samples = []
+    for i in range(warmup + n):
+        start = time.perf_counter()
+        bracket = SPANS.begin("fork.bracket", cat="fork")
+        registry.run_prepare()
+        registry.run_parent()
+        bracket.end()
+        registry.note_clean_fork()
+        if i >= warmup:
+            samples.append(time.perf_counter() - start)
+    return samples
+
+
+def summarize(samples: list) -> dict:
+    ordered = sorted(samples)
+    return {
+        "n": len(samples),
+        "median_us": statistics.median(ordered) * 1e6,
+        "p90_us": ordered[int(len(ordered) * 0.9)] * 1e6,
+        "min_us": ordered[0] * 1e6,
+        "max_us": ordered[-1] * 1e6,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_fork.json")
+    parser.add_argument("--forks", type=int, default=150,
+                        help="timed samples per measurement")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="gate: (bare + bracket) / bare bound")
+    args = parser.parse_args(argv)
+
+    bare_returns = summarize(time_bare_fork_returns(args.forks))
+    bare_cycle = summarize(time_fork_cycles(args.forks))
+
+    portfile = tempfile.mktemp(prefix="dionea-bench-fork-")
+    dionea = Dionea(program="bench-fork", portfile_path=portfile,
+                    park_timeout=10.0)
+    dionea.start()
+    try:
+        bracket = summarize(time_bracket(dionea, args.forks))
+        augmented_cycle = summarize(time_fork_cycles(args.forks))
+    finally:
+        dionea.stop()
+
+    bare_us = bare_returns["median_us"]
+    bracket_us = bracket["median_us"]
+    ratio = (bare_us + bracket_us) / bare_us
+    gate_pass = ratio <= args.max_ratio
+
+    artifact = {
+        "env": local_table1(),
+        "samples_per_arm": args.forks,
+        "bare_fork_return": bare_returns,
+        "prepare_fastpath_bracket": bracket,
+        "ratio_fastpath": round(ratio, 3),
+        "gate": {"max_ratio": args.max_ratio, "pass": gate_pass},
+        # context, ungated: end-to-end cycles including the child's
+        # exit (bare) / full debug-server rebuild (augmented)
+        "cycle_bare": bare_cycle,
+        "cycle_augmented": augmented_cycle,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"bare fork return:      median {bare_us:8.1f} µs")
+    print(f"prepare-fast-path add: median {bracket_us:8.1f} µs")
+    print(f"augmented/bare ratio:  {ratio:.2f}x  "
+          f"(gate: <= {args.max_ratio:.1f}x — "
+          f"{'pass' if gate_pass else 'FAIL'})")
+    print(f"cycle incl. child:     bare "
+          f"{bare_cycle['median_us']:8.1f} µs, debugged "
+          f"{augmented_cycle['median_us']:8.1f} µs (context, ungated)")
+    print(f"wrote {args.out}")
+    return 0 if gate_pass else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

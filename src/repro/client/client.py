@@ -16,6 +16,7 @@ New debuggees arrive two ways:
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -25,7 +26,7 @@ from ..server import protocol
 from ..tracing.frames import StackCapture
 from ..util.errors import ReproError, SessionError, ViewError
 from ..util.ids import IdAllocator, UEId
-from ..util.portfile import PortFile, PortFileWatcher, PortRecord
+from ..util.portfile import PortFile, PortFileWatcher, PortRecord, pid_alive
 from ..util.ringlog import debug_event
 from .reactor import ClientReactor
 from .session import DebugSession, PendingCall
@@ -50,7 +51,13 @@ class DebugClient:
                  on_new_session: Optional[
                      Callable[[DebugSession], None]] = None,
                  on_session_lost: Optional[
-                     Callable[[DebugSession, str], None]] = None):
+                     Callable[[DebugSession, str], None]] = None,
+                 on_detached: Optional[
+                     Callable[[DebugSession, str], None]] = None,
+                 auto_reattach: bool = False,
+                 reattach_base: float = 0.1,
+                 reattach_cap: float = 2.0,
+                 reattach_attempts: int = 6):
         self._sessions: Dict[int, DebugSession] = {}
         self._views: Dict[UEId, DebugView] = {}
         self._lock = threading.RLock()
@@ -63,6 +70,19 @@ class DebugClient:
         self.on_stop = on_stop
         self.on_new_session = on_new_session
         self.on_session_lost = on_session_lost
+        #: degraded-mode notification: the server DETACHED (debuggee
+        #: still running, just no longer debugged) — distinct from loss
+        self.on_detached = on_detached
+        #: exponential-backoff-with-jitter reconnect, layered on
+        #: reattach(): on session LOSS (not server_exit/detach — those
+        #: are deliberate) the client redials the old coordinates until
+        #: the server answers, the pid dies, or the budget runs out.
+        self.auto_reattach = auto_reattach
+        self.reattach_base = reattach_base
+        self.reattach_cap = reattach_cap
+        self.reattach_attempts = reattach_attempts
+        #: jitter decorrelates a fleet of clients redialing one server
+        self._reattach_rng = random.Random()
         #: one selector loop for every session's sockets
         self.reactor = ClientReactor()
         #: recent stop notifications in arrival order (bounded tail)
@@ -342,6 +362,21 @@ class DebugClient:
         elif event == protocol.EV_SERVER_EXIT:
             self.process_tree.mark_exited(session.pid)
             session.close()
+        elif event == protocol.EV_DETACHED:
+            # Degraded mode: the debugger removed itself from a LIVE
+            # debuggee (do-no-harm bail-out).  The process is not
+            # exited — only its debugability is gone; close the session
+            # in an orderly way and surface the verdict.
+            reason = payload.get("reason", "unknown")
+            debug_event("client", f"debug server for pid {session.pid} "
+                                  f"detached: {reason}")
+            obs_metrics.inc("client.detaches")
+            session.close()
+            if self.on_detached is not None:
+                try:
+                    self.on_detached(session, reason)
+                except Exception:  # noqa: BLE001 - user callback
+                    pass
         elif event == protocol.EV_SESSION_LOST:
             # Synthesised by the session's supervision layer (missed
             # heartbeats / abrupt channel loss).  The debuggee may well
@@ -356,6 +391,51 @@ class DebugClient:
                     self.on_session_lost(session, reason)
                 except Exception:  # noqa: BLE001 - user callback
                     pass
+            if self.auto_reattach:
+                self._schedule_reattach(session.pid, attempt=1)
+
+    # -- backoff reconnect (layered on reattach) --------------------------------
+
+    def _schedule_reattach(self, pid: int, attempt: int) -> None:
+        """Arm one redial on the reactor timer wheel, with jitter.
+
+        Exponential backoff (base × 2^attempt, capped) times a
+        0.5–1.5× jitter factor: a fleet of clients that all lost the
+        same server redial decorrelated instead of in lockstep.
+        """
+        if attempt > self.reattach_attempts:
+            obs_metrics.inc("client.reattach_giveups")
+            debug_event("client", f"giving up on pid {pid} after "
+                                  f"{self.reattach_attempts} reattach "
+                                  f"attempts")
+            return
+        delay = min(self.reattach_cap,
+                    self.reattach_base * (2 ** (attempt - 1)))
+        delay *= 0.5 + self._reattach_rng.random()
+        # The dial blocks on connect, so it runs on the dispatcher
+        # (defer), never on the loop thread the timer fires from.
+        self.reactor.call_later(
+            delay, lambda: self.reactor.defer(
+                lambda: self._try_reattach(pid, attempt)))
+
+    def _try_reattach(self, pid: int, attempt: int) -> None:
+        with self._lock:
+            session = self._sessions.get(pid)
+        if session is None or not session.closed:
+            return  # detached from the client side, or already back
+        if not pid_alive(pid):
+            debug_event("client", f"pid {pid} is gone; "
+                                  f"abandoning reattach")
+            return
+        obs_metrics.inc("client.reattach_attempts")
+        try:
+            self.reattach(pid)
+            debug_event("client", f"backoff reattach to pid {pid} "
+                                  f"succeeded (attempt {attempt})")
+        except (ReproError, OSError) as exc:
+            debug_event("client", f"reattach attempt {attempt} to "
+                                  f"pid {pid} failed: {exc}")
+            self._schedule_reattach(pid, attempt + 1)
 
     def wait_for_stop(self, timeout: float = 10.0,
                       min_count: int = 1) -> List[DebugView]:

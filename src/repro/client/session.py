@@ -377,8 +377,12 @@ class DebugSession:
             elif mtype == "pong":
                 self._note_pong(message)
             elif mtype == "event":
-                if message.get("event") == protocol.EV_SERVER_EXIT:
+                if message.get("event") in (protocol.EV_SERVER_EXIT,
+                                            protocol.EV_DETACHED):
                     # Orderly farewell: the EOF that follows is expected.
+                    # (A detach leaves the debuggee RUNNING — but the
+                    # channel death is deliberate either way, so neither
+                    # may be misread as session loss.)
                     self._server_exited = True
                 self._reactor.defer(
                     lambda m=message: self._deliver_event(m))

@@ -30,7 +30,10 @@ from typing import Optional
 
 from ..forkhooks.augment import ForkPatcher
 from ..forkhooks.registry import ForkHandlerRegistry
+from ..forkhooks.resilience import ResiliencePolicy
 from ..forkhooks.syncobjects import SyncObjectRegistry
+from ..obs import metrics as obs_metrics
+from ..util.errors import ForkHookError
 from ..server.debugserver import DebugServer
 from ..util.errors import ReproError
 from ..util.ids import UEId
@@ -74,7 +77,11 @@ class Dionea:
         self.disturb_mode = DisturbMode(enabled=disturb)
         self.deadlock = DeadlockDetector()
         self.sync_registry = SyncObjectRegistry()
-        self.fork_registry = ForkHandlerRegistry()
+        # Do-no-harm bracket: deadlines + quarantine for third-party
+        # fork handlers, degraded mode for failures in our own.
+        self.fork_registry = ForkHandlerRegistry(
+            policy=ResiliencePolicy.from_env())
+        self.fork_registry.on_child_degrade = self._degrade
         self.server = DebugServer(
             host=host, port=port,
             portfile=self.portfile,
@@ -88,6 +95,7 @@ class Dionea:
         )
         self.patcher = ForkPatcher(self.fork_registry, backend=fork_backend)
         self.patcher.on_child_forked = self._record_child
+        self.server.on_detach = self._on_server_detach
         # A disturb toggle must invalidate the engine's fast-path flag.
         self.disturb_mode.on_change = self.server.engine.refresh_quiet
         self.server.engine.refresh_quiet()
@@ -157,6 +165,44 @@ class Dionea:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- degraded mode ---------------------------------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        """Do-no-harm bail-out: the debugger removes itself entirely.
+
+        Fired by the fork registry when a *trusted* phase failed in the
+        child (half-configured debugging is worse than none) — and
+        usable from anywhere the debugger concludes it can no longer be
+        harmless.  The debuggee keeps running, undebugged, output and
+        exit status untouched.
+        """
+        obs_metrics.inc("dionea.degrades")
+        debug_event("dionea", f"entering degraded mode: {reason}")
+        # detach() tears the server half down, then calls
+        # _on_server_detach for the debugger half.
+        self.server.detach(reason)
+
+    def _on_server_detach(self, reason: str) -> None:
+        """Server half is down (detach); take down the debugger half."""
+        global _current
+        self._started = False
+        if self.patcher.installed:
+            try:
+                self.patcher.uninstall()
+            except ForkHookError:
+                # Someone re-patched os.fork over us; restoring would
+                # clobber their wrapper — leave it, our bracket is a
+                # pass-through once the handlers are unregistered.
+                pass
+        try:
+            uninstall_dionea_handlers(self.fork_registry)
+        except ReproError:
+            pass
+        with _current_lock:
+            if _current is self:
+                _current = None
+        debug_event("dionea", f"debugger detached: {reason}")
 
     # -- parent-side fork bookkeeping ---------------------------------------------
 

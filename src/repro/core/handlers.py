@@ -70,7 +70,11 @@ def install_dionea_handlers(
         registry.unregister(OBS_HANDLER_LABEL)
     except ForkHookError:
         pass
-    registry.register(OBS_HANDLER_LABEL, child=handle_child_obs)
+    # trusted=True: Dionea's own sets run inline on the forking thread
+    # (they own thread-affine state — RLocks, trace hooks) and are never
+    # sandboxed or quarantined; their failures degrade the child instead.
+    registry.register(OBS_HANDLER_LABEL, child=handle_child_obs,
+                      trusted=True)
 
     def prepare_fork() -> None:
         # A — take ownership of the debuggee's sync objects so the one
@@ -118,6 +122,7 @@ def install_dionea_handlers(
         prepare=prepare_fork,
         parent=handle_parent_at_fork,
         child=handle_child_at_fork,
+        trusted=True,
     )
 
 

@@ -7,6 +7,7 @@ from .registry import (
     HandlerSet,
     run_around_fork,
 )
+from .resilience import PhaseTimeout, Quarantine, ResiliencePolicy
 from .syncobjects import (
     GLOBAL_SYNC_REGISTRY,
     ManagedSyncObject,
@@ -17,6 +18,7 @@ from .syncobjects import (
 __all__ = [
     "ForkPatcher", "active_patcher",
     "ForkHandlerRegistry", "HandlerFailure", "HandlerSet", "run_around_fork",
+    "PhaseTimeout", "Quarantine", "ResiliencePolicy",
     "GLOBAL_SYNC_REGISTRY", "ManagedSyncObject", "SyncObjectRegistry",
     "manage_lock",
 ]

@@ -38,6 +38,7 @@ from ..obs.spans import SPANS
 from ..testkit import faults
 from ..util.errors import ForkHookError
 from ..util.ringlog import debug_event
+from . import resilience
 from .registry import ForkHandlerRegistry
 
 _install_lock = threading.Lock()
@@ -56,6 +57,10 @@ class ForkPatcher:
         self._original_fork: Optional[Callable[[], int]] = None
         self._wrapper: Optional[Callable[[], int]] = None
         self._installed = False
+        #: reentrancy guard: a fork handler that itself calls os.fork
+        #: would recurse into the bracket and deadlock on the locks the
+        #: outer prepare already holds — the inner call gets a bare fork.
+        self._reentry = threading.local()
         #: Called in the parent with the child's pid after a successful
         #: fork (paper Listing 4 appends the pid to ``_processes``).
         #: Only available on the ``alias`` backend — ``register_at_fork``
@@ -126,6 +131,25 @@ class ForkPatcher:
 
     def _augmented_fork(self) -> int:
         """The Dionea fork of Listing 4: A, fork, then B or C."""
+        if getattr(self._reentry, "depth", 0) \
+                or resilience.in_handler_context():
+            # fork() called from inside a fork handler (directly, or by
+            # code a handler invoked).  Re-entering the bracket would
+            # re-run prepare while its locks are already held — certain
+            # deadlock.  The ability to fork is the debuggee's, not
+            # ours: hand out a bare fork and log the misbehaviour.
+            obs_metrics.inc("fork.reentrant")
+            debug_event("forkhooks",
+                        "fork called from a fork handler; "
+                        "bypassing bracket (bare fork)")
+            return self._original_fork()
+        self._reentry.depth = 1
+        try:
+            return self._bracketed_fork()
+        finally:
+            self._reentry.depth = 0
+
+    def _bracketed_fork(self) -> int:
         registry = self.registry
         # One span for the whole parent-side bracket (A → fork(2) → B):
         # the window during which the debuggee is frozen by the fork
@@ -149,6 +173,7 @@ class ForkPatcher:
         registry.run_parent()  # B
         bracket.end()
         obs_metrics.inc("fork.forks")
+        registry.note_clean_fork()
         if self.on_child_forked is not None:
             try:
                 self.on_child_forked(pid)

@@ -23,6 +23,15 @@ Handler exceptions are contained: a failing prepare handler aborts the
 fork (its effects are unwound by running the parent handlers of everything
 that already prepared); failing parent/child handlers are recorded and the
 rest still run — half-configured debugging must not kill the debuggee.
+
+With a :class:`~repro.forkhooks.resilience.ResiliencePolicy` attached
+(what the Dionea facade does), the contract hardens into *do-no-harm*:
+untrusted handlers run under per-phase deadlines on a sacrificial
+thread, a handler that hangs or raises is undone, quarantined, and the
+fork **proceeds**; a failure in a *trusted* set (Dionea's own phases)
+flags the bracket so the child detaches the debugger cleanly instead of
+running half-debugged.  Without a policy, the legacy abort semantics
+above are preserved bit-for-bit.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from typing import Callable, List, Optional, Tuple
 from ..obs import metrics as obs_metrics
 from ..util.errors import ForkHookError
 from ..util.ringlog import debug_event
+from .resilience import Quarantine, ResiliencePolicy, run_with_deadline
 
 Handler = Callable[[], None]
 
@@ -57,12 +67,21 @@ def _timed(phase: str, label: str, handler: Handler) -> None:
 
 @dataclass(frozen=True)
 class HandlerSet:
-    """One registration: up to three phase callbacks plus a label."""
+    """One registration: up to three phase callbacks plus a label.
+
+    ``trusted`` marks a set whose callbacks manipulate thread-affine
+    state (RLock ownership, trace hooks) and therefore must run inline
+    on the forking thread — never on the resilience sandbox thread, and
+    never quarantined (a trusted failure degrades the child instead).
+    Dionea's own phases A/B/C register trusted; everything else defaults
+    to untrusted.
+    """
 
     label: str
     prepare: Optional[Handler] = None
     parent: Optional[Handler] = None
     child: Optional[Handler] = None
+    trusted: bool = False
 
     def __post_init__(self):
         if self.prepare is None and self.parent is None and self.child is None:
@@ -80,20 +99,36 @@ class HandlerFailure:
 
 
 class ForkHandlerRegistry:
-    """Thread-safe ordered registry of :class:`HandlerSet` objects."""
+    """Thread-safe ordered registry of :class:`HandlerSet` objects.
 
-    def __init__(self) -> None:
+    With *policy* set, the registry applies do-no-harm semantics (see
+    module docstring); ``on_child_degrade`` is called in the child when
+    a trusted phase failed and the debugger must detach rather than run
+    half-configured.
+    """
+
+    def __init__(self, policy: Optional[ResiliencePolicy] = None) -> None:
         self._lock = threading.RLock()
         self._handlers: List[HandlerSet] = []
         self._failures: List[HandlerFailure] = []
+        self.policy = policy
+        self.quarantine = Quarantine(policy) if policy is not None else None
+        #: child-side degrade hook (set by the Dionea facade)
+        self.on_child_degrade: Optional[Callable[[str], None]] = None
+        #: per-bracket state (skip set, degrade reason) — thread-local
+        #: because the whole prepare→fork→parent/child bracket runs on
+        #: the one thread that called fork()
+        self._bracket = threading.local()
 
     # -- registration -------------------------------------------------------
 
     def register(self, label: str, prepare: Optional[Handler] = None,
                  parent: Optional[Handler] = None,
-                 child: Optional[Handler] = None) -> HandlerSet:
+                 child: Optional[Handler] = None,
+                 trusted: bool = False) -> HandlerSet:
         handler_set = HandlerSet(label=label, prepare=prepare,
-                                 parent=parent, child=child)
+                                 parent=parent, child=child,
+                                 trusted=trusted)
         with self._lock:
             if any(existing.label == label for existing in self._handlers):
                 raise ForkHookError(f"duplicate handler label: {label!r}")
@@ -133,6 +168,71 @@ class ForkHandlerRegistry:
         with self._lock:
             return list(self._handlers)
 
+    # -- bracket-local state (do-no-harm mode) ------------------------------
+
+    def _bracket_skips(self) -> set:
+        skips = getattr(self._bracket, "skips", None)
+        return skips if skips is not None else set()
+
+    def _set_degrade(self, reason: str) -> None:
+        if getattr(self._bracket, "degrade", None) is None:
+            self._bracket.degrade = reason
+
+    def _clear_bracket(self) -> None:
+        self._bracket.skips = None
+        self._bracket.degrade = None
+
+    def note_clean_fork(self) -> None:
+        """Parent side, after a completed fork: advance quarantine parole."""
+        if self.quarantine is not None:
+            self.quarantine.note_clean_fork()
+
+    def _run_phase_callback(self, phase: str, handler_set: HandlerSet,
+                            callback: Handler) -> None:
+        """One phase callback, timed; untrusted ones under the deadline."""
+        if self.policy is not None and not handler_set.trusted:
+            deadline = self.policy.prepare_deadline
+            _timed(phase, handler_set.label,
+                   lambda: run_with_deadline(handler_set.label, phase,
+                                             callback, deadline))
+        else:
+            _timed(phase, handler_set.label, callback)
+
+    def _contain_prepare_failure(self, handler_set: HandlerSet,
+                                 exc: BaseException) -> None:
+        """Do-no-harm response to a failed/hung prepare: undo, bench, skip.
+
+        The handler's own *parent* callback is its designated undo; it
+        runs under the same deadline discipline so a hung undo cannot
+        re-wedge the fork.  The whole set is skipped for the rest of
+        this bracket (parent/child of a set whose prepare failed would
+        release locks it does not hold), and untrusted sets are benched
+        across brackets.  A trusted failure means Dionea itself is
+        broken mid-fork: flag the bracket so the child detaches.
+        """
+        label = handler_set.label
+        obs_metrics.inc("fork.prepare_contained", label=label)
+        debug_event("forkhooks",
+                    f"prepare handler {label!r} failed "
+                    f"({type(exc).__name__}: {exc}); containing — "
+                    f"fork proceeds")
+        self._record_failure(label, "prepare", exc)
+        if handler_set.parent is not None:
+            try:
+                self._run_phase_callback("undo", handler_set,
+                                         handler_set.parent)
+            except BaseException as undo_exc:  # noqa: BLE001
+                self._record_failure(label, "undo", undo_exc)
+        skips = getattr(self._bracket, "skips", None)
+        if skips is not None:
+            skips.add(label)
+        if handler_set.trusted:
+            self._set_degrade(
+                f"trusted prepare {label!r} failed: {type(exc).__name__}")
+        elif self.quarantine is not None:
+            self.quarantine.record_failure(
+                label, f"prepare failed: {type(exc).__name__}")
+
     def run_prepare(self) -> List[HandlerSet]:
         """Run prepare handlers (reverse order).
 
@@ -142,15 +242,32 @@ class ForkHandlerRegistry:
         (the parent phase is the designated "undo" of prepare, per POSIX
         practice) and :class:`ForkHookError` is raised — the fork must not
         proceed with half the locks held.
+
+        Under a contain-mode policy the failure path changes: the sick
+        handler alone is undone/benched and the fork proceeds — the
+        debuggee's ability to fork is never hostage to a handler.
         """
+        contain = self.policy is not None and self.policy.contain_prepare
+        if contain:
+            self._bracket.skips = set()
+            self._bracket.degrade = None
         prepared: List[HandlerSet] = []
         for handler_set in reversed(self._snapshot()):
+            if (contain and self.quarantine is not None
+                    and not handler_set.trusted
+                    and self.quarantine.should_skip(handler_set.label)):
+                self._bracket.skips.add(handler_set.label)
+                continue
             if handler_set.prepare is None:
                 prepared.append(handler_set)
                 continue
             try:
-                _timed("prepare", handler_set.label, handler_set.prepare)
+                self._run_phase_callback("prepare", handler_set,
+                                         handler_set.prepare)
             except BaseException as exc:
+                if contain:
+                    self._contain_prepare_failure(handler_set, exc)
+                    continue
                 debug_event("forkhooks",
                             f"prepare handler {handler_set.label!r} raised "
                             f"{type(exc).__name__}; unwinding")
@@ -174,23 +291,63 @@ class ForkHandlerRegistry:
 
     def run_parent(self) -> None:
         """Run parent handlers in registration order; contain failures."""
-        for handler_set in self._snapshot():
-            if handler_set.parent is None:
-                continue
-            try:
-                _timed("parent", handler_set.label, handler_set.parent)
-            except BaseException as exc:  # noqa: BLE001
-                self._record_failure(handler_set.label, "parent", exc)
+        skips = self._bracket_skips()
+        try:
+            for handler_set in self._snapshot():
+                if handler_set.parent is None \
+                        or handler_set.label in skips:
+                    continue
+                try:
+                    self._run_phase_callback("parent", handler_set,
+                                             handler_set.parent)
+                except BaseException as exc:  # noqa: BLE001
+                    self._record_failure(handler_set.label, "parent", exc)
+                    if (self.quarantine is not None
+                            and not handler_set.trusted):
+                        self.quarantine.record_failure(
+                            handler_set.label,
+                            f"parent failed: {type(exc).__name__}")
+        finally:
+            self._clear_bracket()
 
     def run_child(self) -> None:
-        """Run child handlers in registration order; contain failures."""
-        for handler_set in self._snapshot():
-            if handler_set.child is None:
-                continue
+        """Run child handlers in registration order; contain failures.
+
+        In do-no-harm mode a *trusted* child failure (or a degrade flag
+        set by a trusted prepare failure) means the child cannot be
+        debugged safely: ``on_child_degrade`` fires so the facade can
+        detach the debugger — the child runs on, undebugged, output and
+        exit status untouched.
+        """
+        skips = self._bracket_skips()
+        degrade = getattr(self._bracket, "degrade", None)
+        try:
+            for handler_set in self._snapshot():
+                if handler_set.child is None \
+                        or handler_set.label in skips:
+                    continue
+                try:
+                    self._run_phase_callback("child", handler_set,
+                                             handler_set.child)
+                except BaseException as exc:  # noqa: BLE001
+                    self._record_failure(handler_set.label, "child", exc)
+                    if handler_set.trusted and degrade is None:
+                        degrade = (f"trusted child {handler_set.label!r} "
+                                   f"failed: {type(exc).__name__}")
+                    elif (self.quarantine is not None
+                            and not handler_set.trusted):
+                        self.quarantine.record_failure(
+                            handler_set.label,
+                            f"child failed: {type(exc).__name__}")
+        finally:
+            self._clear_bracket()
+        if degrade is not None and self.on_child_degrade is not None:
+            obs_metrics.inc("fork.child_degrades")
+            debug_event("forkhooks", f"child degrading: {degrade}")
             try:
-                _timed("child", handler_set.label, handler_set.child)
-            except BaseException as exc:  # noqa: BLE001
-                self._record_failure(handler_set.label, "child", exc)
+                self.on_child_degrade(degrade)
+            except Exception:  # noqa: BLE001 - degrade must not kill child
+                debug_event("forkhooks", "on_child_degrade callback failed")
 
     def _record_failure(self, label: str, phase: str,
                         exc: BaseException) -> None:
@@ -233,4 +390,5 @@ def run_around_fork(registry: ForkHandlerRegistry,
     registry.run_parent()
     bracket.end()
     obs_metrics.inc("fork.forks")
+    registry.note_clean_fork()
     return pid, False

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import traceback
 from typing import Any, Callable, Dict, Optional
 
 from time import perf_counter as _perf_counter
@@ -95,6 +96,14 @@ class DebugServer:
         self._last_stops: Dict[UEId, dict] = {}
         self._stops_lock = threading.Lock()
         self._started = False
+        #: wedge monitor; created in start() unless DIONEA_WATCHDOG=0
+        self.watchdog = None
+        #: called (with the reason) after a degraded-mode detach so the
+        #: facade can take down the rest of the debugger (fork patcher,
+        #: handler registrations) — the server only owns its own half.
+        self.on_detach: Optional[Callable[[str], None]] = None
+        self._detached = False
+        self._detach_lock = threading.Lock()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -125,6 +134,10 @@ class DebugServer:
         if self._capture_io and not self.output_capture.installed:
             self.output_capture.install()
         self._started = True
+        from .watchdog import ServerWatchdog, watchdog_enabled
+        if watchdog_enabled():
+            self.watchdog = ServerWatchdog(self)
+            self.watchdog.start()
         if announce and self.portfile is not None:
             self.announce()
         debug_event("server", f"debug server up on port {self.port}")
@@ -142,10 +155,56 @@ class DebugServer:
         ))
 
     def close(self) -> None:
+        self._shutdown(protocol.make_event(protocol.EV_SERVER_EXIT,
+                                           {"pid": self.session.pid}))
+        debug_event("server", "debug server closed")
+
+    def detach(self, reason: str) -> None:
+        """Degraded mode: remove the debugger, leave the debuggee running.
+
+        The do-no-harm escape hatch: uninstall the trace hooks, free
+        every parked UE, drop the sockets, tombstone the portfile so no
+        client ever redials this pid, and tell the attached client with
+        an ``EV_DETACHED`` farewell (NOT ``server_exit`` — the process
+        lives on).  Idempotent; safe from any thread, including the
+        watchdog's.
+        """
+        with self._detach_lock:
+            if self._detached or not self._started:
+                return
+            self._detached = True
+        obs_metrics.inc("server.detaches")
+        debug_event("server", f"detaching from debuggee: {reason}")
+        # Tombstone BEFORE the sockets go: the instant the listener
+        # dies, a watching client starts redialing unless told not to.
+        if self.portfile is not None:
+            try:
+                self.portfile.tombstone(self.session.pid, host=self._host,
+                                        reason=reason)
+            except (OSError, ReproError):
+                debug_event("server", "portfile tombstone failed")
+        self._shutdown(protocol.make_event(
+            protocol.EV_DETACHED,
+            {"pid": self.session.pid, "reason": reason}))
+        callback = self.on_detach
+        if callback is not None:
+            try:
+                callback(reason)
+            except Exception:  # noqa: BLE001 - facade cleanup best-effort
+                debug_event("server", "on_detach callback failed")
+
+    @property
+    def detached(self) -> bool:
+        return self._detached
+
+    def _shutdown(self, farewell: Optional[dict]) -> None:
+        """Common teardown for close() and detach(): release everything."""
         if not self._started:
             return
         self._started = False
         self._cancel_grace_timer()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         if self.profiler is not None and self.profiler.running:
             self.profiler.stop()
         if self.output_capture.installed:
@@ -153,21 +212,53 @@ class DebugServer:
         if self.input_feed.installed:
             self.input_feed.uninstall()
         if self.engine.installed:
-            self.engine.uninstall()
+            self.engine.uninstall()  # also releases every parked UE
         if self._listener is not None:
             try:
                 # Best-effort farewell: a peer that died first must not
                 # turn an orderly shutdown into a crash.
-                self._listener.broadcast_event(
-                    protocol.make_event(protocol.EV_SERVER_EXIT,
-                                        {"pid": self.session.pid}))
+                if farewell is not None:
+                    self._listener.broadcast_event(farewell)
             except Exception:  # noqa: BLE001
-                debug_event("server", "server_exit broadcast failed; "
-                                      "closing anyway")
+                # Contained, but never silently: the satellite rule —
+                # count it and keep the traceback diagnosable.
+                obs_metrics.inc("server.loop_errors")
+                debug_event("server",
+                            "farewell broadcast failed; closing anyway\n"
+                            + traceback.format_exc())
             self._listener.close()
             self._listener = None
         self._endpoint = None
-        debug_event("server", "debug server closed")
+
+    def heal_listener(self, why: str) -> None:
+        """Abandon a dead/wedged listener and start a replacement.
+
+        Python cannot kill a wedged thread, so the old listener is cut
+        loose: its sockets are closed out from under it (unwedging
+        anything blocked on them — the loop then exits on the dead
+        selector) and a fresh listener takes over on a fresh port.  The
+        re-announce puts the same pid on a new port in the rendezvous
+        file; the client's watcher treats that as a redial.
+        """
+        old = self._listener
+        if old is not None:
+            # Don't linger on the join: a wedged thread will not oblige.
+            old.stop(timeout=0.2)
+            for conn in old.connections():
+                conn.close()
+            old.endpoint.close()
+        self._endpoint = ListenEndpoint(self._host, 0)
+        self._listener = Listener(
+            self._endpoint,
+            on_request=self._handle_request,
+            on_hello=self._handle_hello,
+            on_disconnect=self._handle_disconnect,
+        )
+        self._listener.start()
+        if self.portfile is not None:
+            self.announce()
+        debug_event("server", f"listener healed ({why}): "
+                              f"now on port {self.port}")
 
     def __enter__(self) -> "DebugServer":
         self.start()
@@ -411,7 +502,14 @@ class DebugServer:
         )
         self._listener.start()
 
-        # 4. Inform the client about the creation of a new debuggee.
+        # 4. Restart the wedge monitor — its thread died with the fork.
+        with self._detach_lock:
+            self._detached = False
+        if self.watchdog is not None:
+            self.watchdog.reset_after_fork()
+            self.watchdog.start()
+
+        # 5. Inform the client about the creation of a new debuggee.
         if self.portfile is not None:
             self.announce()
         debug_event("server",

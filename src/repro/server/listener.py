@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import selectors
 import threading
+import time
+import traceback
 from typing import Callable, Dict, List, Optional
 
 from time import perf_counter as _perf_counter
@@ -49,6 +51,11 @@ class Listener:
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._started = threading.Event()
+        #: monotonic stamp of the loop's last iteration — the liveness
+        #: signal the server watchdog polls.  A wedged handler (blocking
+        #: call smuggled into the reactor) freezes this stamp while the
+        #: thread stays "alive"; a stale stamp IS the wedge detector.
+        self.last_tick = time.monotonic()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -118,6 +125,7 @@ class Listener:
         self._started.set()
         try:
             while not self._stop.is_set():
+                self.last_tick = time.monotonic()
                 events = self._selector.select(timeout=0.05)
                 if not events:
                     continue
@@ -210,7 +218,12 @@ class Listener:
         try:
             self.on_request(conn, message)
         except Exception as exc:  # noqa: BLE001 - reactor must survive
-            debug_event("listener", f"request handler raised {exc!r}")
+            # Containment is right (the reactor must survive), silence
+            # is not: count it and keep the traceback diagnosable.
+            obs_metrics.inc("server.loop_errors")
+            debug_event("listener",
+                        f"request handler raised {exc!r}\n"
+                        + traceback.format_exc())
             conn.send(protocol.make_error(
                 message.get("id", -1),
                 f"internal error: {type(exc).__name__}: {exc}",

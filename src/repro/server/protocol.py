@@ -40,6 +40,11 @@ EV_SERVER_EXIT = "server_exit"
 #: session dead (missed heartbeats, or the command channel dropping
 #: without an orderly ``server_exit``).  Never sent on the wire.
 EV_SESSION_LOST = "session_lost"
+#: Degraded mode: the debugger detached itself from a still-running
+#: debuggee (trusted fork-phase failure, wedged reactor, explicit
+#: detach).  Unlike ``server_exit`` the *process lives on* — only the
+#: debugging of it ended.  Payload: ``pid`` and ``reason``.
+EV_DETACHED = "detached"
 
 
 def make_hello(role: str, pid: int, session_token: str,

@@ -113,6 +113,9 @@ class ListenEndpoint:
         self.host = host
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        # Close-on-exec, explicitly: an exec'd debuggee must carry zero
+        # debugger descriptors into its new image (see accept()).
+        self.sock.set_inheritable(False)
         self.sock.bind((host, port))
         self.sock.listen(16)
         self.port = self.sock.getsockname()[1]
@@ -125,6 +128,11 @@ class ListenEndpoint:
         faults.maybe_fault("server.listener.accept")
         sock, address = self.sock.accept()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Exec survival: PEP 446 makes Python sockets non-inheritable by
+        # default, but the do-no-harm invariant (a debuggee that execs
+        # must not leak debugger fds into its successor image) is too
+        # important to rest on a default someone can flip — pin it.
+        sock.set_inheritable(False)
         return Connection(sock, address)
 
     @property

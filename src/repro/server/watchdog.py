@@ -1,0 +1,150 @@
+"""Server watchdog: detect a wedged listener and heal or detach.
+
+The listener thread is the debug server's single point of failure: the
+paper's §4 non-blocking rule keeps it responsive, but a misbehaving
+command handler (or injected fault) can still wedge the reactor — and a
+wedged reactor is worse than a dead one, because the thread stays
+"alive" while every client request and heartbeat black-holes.  The
+debuggee meanwhile must not care: do-no-harm says a broken debugger may
+never cost the host process anything but its debugability.
+
+The watchdog polls two signals:
+
+* **thread death** — the listener thread exited (an escaped exception,
+  a selector wreck).  Healable: build a fresh listener on a fresh port
+  and re-announce; the client's watcher sees the same pid on a new port
+  and redials.
+* **tick staleness** — the thread is alive but its loop stamp
+  (:attr:`~repro.server.listener.Listener.last_tick`) has not moved for
+  ``DIONEA_WATCHDOG_STALL`` seconds.  A wedged thread cannot be killed
+  in Python, so the stuck listener is *abandoned*: its sockets are
+  closed out from under it (which also unwedges anything blocked on
+  them) and a replacement listener takes over.  If even that fails, the
+  server detaches and the debuggee runs on undebugged.
+
+Enabled by default inside :meth:`DebugServer.start`; ``DIONEA_WATCHDOG=0``
+turns it off, ``DIONEA_WATCHDOG_STALL`` tunes the stall budget (default
+10s — far above any legitimate reactor pause, including the test
+suite's injected delays).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..obs import metrics as obs_metrics
+from ..util.ringlog import debug_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .debugserver import DebugServer
+
+#: env gate: "0" disables the watchdog entirely
+ENABLE_ENV = "DIONEA_WATCHDOG"
+#: env knob: seconds of tick silence before the listener counts as wedged
+STALL_ENV = "DIONEA_WATCHDOG_STALL"
+
+_DEFAULT_STALL = 10.0
+
+
+def watchdog_enabled() -> bool:
+    return os.environ.get(ENABLE_ENV, "1") not in ("0", "false", "no")
+
+
+def stall_budget() -> float:
+    raw = os.environ.get(STALL_ENV)
+    if not raw:
+        return _DEFAULT_STALL
+    try:
+        value = float(raw)
+    except ValueError:
+        return _DEFAULT_STALL
+    return value if value > 0 else _DEFAULT_STALL
+
+
+class ServerWatchdog:
+    """Background monitor for one :class:`DebugServer`'s listener."""
+
+    def __init__(self, server: "DebugServer",
+                 interval: float = 1.0,
+                 stall: Optional[float] = None):
+        self.server = server
+        self.interval = interval
+        self.stall = stall if stall is not None else stall_budget()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: healing attempts are bounded: a listener that needs a third
+        #: heal inside one server lifetime is not sick, it is cursed —
+        #: detach rather than flap forever.
+        self.max_heals = 2
+        self._heals = 0
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="dionea-watchdog", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
+        self._thread = None
+
+    def reset_after_fork(self) -> None:
+        """The watchdog thread did not survive the fork; forget it."""
+        self._stop = threading.Event()
+        self._thread = None
+        self._heals = 0
+
+    # -- the monitor loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        from ..util.ids import untrace_current_thread
+        untrace_current_thread()  # infra thread: never a debuggee UE
+        while not self._stop.wait(self.interval):
+            try:
+                self._check()
+            except Exception:  # noqa: BLE001 - monitor must not crash
+                debug_event("watchdog", "watchdog check failed; continuing")
+
+    def _check(self) -> None:
+        server = self.server
+        if not server.started:
+            return
+        listener = server._listener
+        if listener is None:
+            return
+        if not listener.running:
+            self._respond("listener thread died")
+            return
+        silence = time.monotonic() - listener.last_tick
+        if silence > self.stall:
+            obs_metrics.inc("server.watchdog_stalls")
+            self._respond(f"listener wedged for {silence:.1f}s")
+
+    def _respond(self, why: str) -> None:
+        server = self.server
+        if self._heals < self.max_heals:
+            self._heals += 1
+            debug_event("watchdog", f"{why}; healing listener "
+                                    f"(attempt {self._heals})")
+            try:
+                server.heal_listener(why)
+                obs_metrics.inc("server.watchdog_heals")
+                return
+            except Exception:  # noqa: BLE001 - fall through to detach
+                debug_event("watchdog", "heal failed; detaching")
+        else:
+            debug_event("watchdog", f"{why}; heal budget exhausted, "
+                                    f"detaching")
+        server.detach(f"watchdog: {why}")

@@ -28,6 +28,14 @@ from typing import Callable, Dict, List, Optional
 from .errors import RendezvousError
 
 
+#: record states: a ``live`` record is a dialable rendezvous; a
+#: ``tombstone`` announces that the debugger LEFT this pid (detach,
+#: exec-after-fork, daemonize hand-off) — the pid may well still be
+#: alive, but there is nothing to dial there any more.
+STATE_LIVE = "live"
+STATE_TOMBSTONE = "tombstone"
+
+
 @dataclass(frozen=True)
 class PortRecord:
     """One child announcement: who forked, who was born, where to dial."""
@@ -37,15 +45,28 @@ class PortRecord:
     host: str
     port: int
     created_at: float
+    state: str = STATE_LIVE
+    reason: Optional[str] = None
+
+    @property
+    def tombstoned(self) -> bool:
+        return self.state == STATE_TOMBSTONE
 
     def to_json(self) -> str:
-        return json.dumps({
+        raw = {
             "pid": self.pid,
             "parent_pid": self.parent_pid,
             "host": self.host,
             "port": self.port,
             "created_at": self.created_at,
-        }, separators=(",", ":"))
+        }
+        if self.state != STATE_LIVE:
+            # Serialised only when non-default so pre-tombstone readers
+            # (and recorded port files) keep parsing unchanged.
+            raw["state"] = self.state
+            if self.reason is not None:
+                raw["reason"] = self.reason
+        return json.dumps(raw, separators=(",", ":"))
 
     @classmethod
     def from_json(cls, line: str) -> "PortRecord":
@@ -53,7 +74,9 @@ class PortRecord:
             raw = json.loads(line)
             return cls(pid=int(raw["pid"]), parent_pid=int(raw["parent_pid"]),
                        host=str(raw["host"]), port=int(raw["port"]),
-                       created_at=float(raw["created_at"]))
+                       created_at=float(raw["created_at"]),
+                       state=str(raw.get("state", STATE_LIVE)),
+                       reason=raw.get("reason"))
         except (ValueError, KeyError, TypeError) as exc:
             raise RendezvousError(f"corrupt port record: {line!r}") from exc
 
@@ -91,6 +114,11 @@ class PortFile:
     def __init__(self, path: str):
         self.path = path
         self._write_lock = threading.Lock()
+        #: consecutive failed port probes per (pid, port) — an exec'd
+        #: debuggee keeps its pid alive while its debug port is gone,
+        #: so pid liveness alone can never reap it; two failed probes
+        #: (not one: a probe can race a listener restart) do.
+        self._probe_strikes: Dict[tuple, int] = {}
 
     @contextlib.contextmanager
     def _flocked(self):
@@ -131,6 +159,20 @@ class PortFile:
             finally:
                 os.close(fd)
 
+    def tombstone(self, pid: int, host: str = "", port: int = 0,
+                  reason: str = "detached") -> None:
+        """Append a tombstone: the debugger has left *pid* for good.
+
+        Written on degraded-mode detach and immediately before an
+        ``exec``/daemonize hand-off, so the client's watcher never dials
+        a rendezvous whose process outlived its debugger.  Appending
+        (not rewriting) keeps the fork audit trail and stays atomic
+        under ``O_APPEND`` like any announce.
+        """
+        self.announce(PortRecord(
+            pid=pid, parent_pid=0, host=host, port=port,
+            created_at=time.time(), state=STATE_TOMBSTONE, reason=reason))
+
     # -- reader side (client watcher) --------------------------------------
 
     def read_all(self) -> List[PortRecord]:
@@ -155,31 +197,69 @@ class PortFile:
 
     # -- liveness GC --------------------------------------------------------
 
-    def reap_dead(self, min_age: float = 5.0,
-                  now: Optional[float] = None) -> List[PortRecord]:
-        """Drop records whose pid is dead; returns the reaped records.
+    def _port_dead(self, record: PortRecord) -> bool:
+        """Probe the record's port; True after two consecutive failures.
 
-        Only records older than *min_age* seconds are candidates: a
-        record younger than that can belong to a child between its
-        ``announce`` and its first breath (pid visible but the process
-        table entry still settling), and reaping it would orphan a
-        live debuggee.
+        The strike counter absorbs the one legitimate transient — a
+        watchdog healing the listener onto a new port between probes —
+        while still reaping exec'd debuggees (pid alive, port gone)
+        within two GC passes.
+        """
+        import socket
+        key = (record.pid, record.port)
+        try:
+            socket.create_connection((record.host, record.port),
+                                     timeout=0.2).close()
+        except OSError:
+            strikes = self._probe_strikes.get(key, 0) + 1
+            self._probe_strikes[key] = strikes
+            return strikes >= 2
+        self._probe_strikes.pop(key, None)
+        return False
+
+    def reap_dead(self, min_age: float = 5.0,
+                  now: Optional[float] = None,
+                  probe_ports: bool = False) -> List[PortRecord]:
+        """Drop dead records; returns the reaped records.
+
+        Three kinds of corpse are reaped:
+
+        * **dead pid** — the classic case (PR 4), still gated on
+          *min_age* so a child between announce and first breath is
+          never orphaned;
+        * **tombstoned pid** — the debugger wrote a tombstone (detach /
+          exec / daemonize); both the tombstone and every record it
+          covers go at once, regardless of age or pid liveness;
+        * **exec'd pid** (``probe_ports=True``) — pid alive but the
+          debug port refuses twice in a row: the process exec'd away
+          from under its debugger without a tombstone (SIGKILL between
+          tombstone and exec, third-party exec).
 
         The rewrite is atomic (temp file + ``rename``) and holds the
         sidecar ``flock`` so a concurrent child's append can never land
         between the read and the rename and be lost.
         """
         now = time.time() if now is None else now
+        # Probe OUTSIDE the flock: a fork handler appending its announce
+        # must never queue behind 0.2s-per-corpse connect timeouts.  The
+        # lock-held pass below drops only identities condemned here, so
+        # an append racing the probe pass survives untouched.
+        condemned: set = set()
+        for record in self.read_all():
+            if record.tombstoned:
+                condemned.add(record.pid)
+                continue
+            aged = now - record.created_at >= min_age
+            if aged and not pid_alive(record.pid):
+                condemned.add(record.pid)
+            elif aged and probe_ports and self._port_dead(record):
+                condemned.add(record.pid)
+        if not condemned:
+            return []
         with self._write_lock, self._flocked():
             records = self.read_all()
-            keep: List[PortRecord] = []
-            reaped: List[PortRecord] = []
-            for record in records:
-                if (now - record.created_at >= min_age
-                        and not pid_alive(record.pid)):
-                    reaped.append(record)
-                else:
-                    keep.append(record)
+            keep = [r for r in records if r.pid not in condemned]
+            reaped = [r for r in records if r.pid in condemned]
             if not reaped:
                 return []
             tmp = f"{self.path}.gc.{os.getpid()}"
@@ -218,11 +298,34 @@ class PortFileWatcher:
 
     def poll_once(self) -> List[PortRecord]:
         """Process any unseen records; returns the new ones (for tests)."""
-        fresh: List[PortRecord] = []
-        for record in self.portfile.read_all():
-            key = record.pid
-            if key in self._seen:
+        records = self.portfile.read_all()
+        # Tombstones first, regardless of file order: a watcher whose
+        # first poll already sees announce + tombstone (late attach to
+        # an exec'd/daemonized debuggee) must not dial the dead port.
+        for record in records:
+            if not record.tombstoned:
                 continue
+            prev = self._seen.get(record.pid)
+            # The debugger left this pid (detach/exec/daemonize):
+            # nothing to dial — the tombstone masks any OLDER live
+            # record, but not a later re-announce (recycled pid).
+            if prev is None or prev.created_at <= record.created_at:
+                self._seen[record.pid] = record
+        fresh: List[PortRecord] = []
+        for record in records:
+            if record.tombstoned:
+                continue
+            key = record.pid
+            prev = self._seen.get(key)
+            if prev is not None:
+                if record.created_at <= prev.created_at:
+                    continue  # older than what we already acted on
+                if not prev.tombstoned and record.port == prev.port:
+                    continue  # duplicate announce of known coordinates
+                # Newer record with new coordinates: the server healed
+                # its listener onto a fresh port (watchdog), or a
+                # recycled/tombstoned pid announced afresh — the old
+                # coordinates are dead, dial the new ones.
             if self.gc_interval > 0 and not pid_alive(record.pid):
                 # Announced, then died before we dialed: never attach.
                 # Mark seen so the pid is not re-probed every poll; the
@@ -237,7 +340,7 @@ class PortFileWatcher:
             now = time.monotonic()
             if now >= self._next_gc:
                 self._next_gc = now + self.gc_interval
-                for reaped in self.portfile.reap_dead():
+                for reaped in self.portfile.reap_dead(probe_ports=True):
                     # Forget reaped pids: if the pid is ever recycled by
                     # a *new* debuggee, its fresh record must be dialed.
                     self._seen.pop(reaped.pid, None)

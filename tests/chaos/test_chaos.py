@@ -1,0 +1,56 @@
+"""Chaos tier: adversarial debuggees swept under the do-no-harm harness.
+
+Every scenario in :mod:`repro.testkit.chaos` runs the same workload
+bare and under a full Dionea facade with an adversary attached (hung /
+raising / fork-calling handlers, exec, daemonize, mid-fork SIGKILL) and
+asserts byte-identical output, identical wait status, and — for orderly
+exits — evidence in the obs counters that the resilience machinery
+(deadline, quarantine, reentrancy guard) actually engaged.
+
+Each scenario sweeps ``SEEDS_PER_SCENARIO`` (≥10) seeds; the seed
+perturbs round counts, tree shapes and kill points through ``ctx.rng``.
+Run with ``make chaos`` or ``pytest -m chaos``; the tier is excluded
+from the default (tier-1) run by the ``-m "not stress and not chaos"``
+addopts.
+"""
+
+import pytest
+
+from repro.testkit.chaos import CHAOS_SCENARIOS
+from repro.testkit.faults import registry as fault_registry
+from repro.testkit.scenarios import SCENARIO_MATRIX, ScenarioRunner
+
+pytestmark = [pytest.mark.chaos, pytest.mark.forks]
+
+MASTER_SEED = 20250809
+SEEDS_PER_SCENARIO = 10
+
+RUNNER = ScenarioRunner()
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    fault_registry().reset()
+    yield
+    fault_registry().reset()
+
+
+def run_ok(name, seed):
+    result = RUNNER.run(name, SCENARIO_MATRIX[name], seed=seed)
+    assert result.ok, (f"scenario {name} (seed={seed}) violated "
+                       f"invariants: {result.violations}; "
+                       f"details={result.details}")
+    return result
+
+
+def test_matrix_registers_every_chaos_scenario():
+    assert set(CHAOS_SCENARIOS) <= set(SCENARIO_MATRIX)
+
+
+@pytest.mark.parametrize("offset", range(SEEDS_PER_SCENARIO))
+@pytest.mark.parametrize("name", CHAOS_SCENARIOS)
+def test_do_no_harm(name, offset):
+    result = run_ok(name, MASTER_SEED + 100 * CHAOS_SCENARIOS.index(name)
+                    + offset)
+    assert result.details["exit_code"] is not None, \
+        "workload never reaped"

@@ -11,6 +11,7 @@ import pytest
 
 from repro.forkhooks.augment import ForkPatcher, active_patcher
 from repro.forkhooks.registry import ForkHandlerRegistry
+from repro.forkhooks.resilience import run_with_deadline
 from repro.util.errors import ForkHookError
 
 
@@ -69,6 +70,34 @@ class TestInstallUninstall:
         with pytest.raises(ForkHookError):
             ForkPatcher(registry, backend="magic")
 
+    def test_uninstall_is_idempotent(self, registry):
+        original = os.fork
+        patcher = ForkPatcher(registry)
+        patcher.install()
+        patcher.uninstall()
+        patcher.uninstall()  # second uninstall: silent no-op
+        assert os.fork is original
+        assert active_patcher() is None
+
+    def test_reinstall_after_uninstall(self, registry):
+        original = os.fork
+        patcher = ForkPatcher(registry)
+        for _ in range(3):
+            patcher.install()
+            assert patcher.installed
+            assert os.fork is not original
+            patcher.uninstall()
+            assert not patcher.installed
+            assert os.fork is original
+
+    def test_install_cycle_leaves_no_patcher_behind(self, registry):
+        with ForkPatcher(registry):
+            pass
+        second = ForkPatcher(ForkHandlerRegistry())
+        with second:  # the slot was freed; a new patcher may claim it
+            assert active_patcher() is second
+        assert active_patcher() is None
+
 
 @pytest.mark.forks
 class TestAliasBackendForks:
@@ -121,6 +150,54 @@ class TestAliasBackendForks:
             if pid == 0:
                 os._exit(0)
             assert reap(pid) == 0
+
+
+@pytest.mark.forks
+class TestReentrancyGuard:
+    """fork() from inside a fork handler gets a bare fork, not the
+    bracket — re-running prepare under its own held locks would
+    deadlock.  Two paths must be covered: a handler running inline on
+    the forking thread (thread-local depth), and one running on the
+    resilience sandbox thread (handler-context flag)."""
+
+    def test_inline_handler_fork_bypasses_bracket(self, registry):
+        phases = []
+
+        def forking_prepare():
+            phases.append("prepare")
+            inner = os.fork()  # routed to the patched alias
+            if inner == 0:
+                os._exit(11)
+            assert reap(inner) == 11
+
+        registry.register("nested", prepare=forking_prepare,
+                          parent=lambda: phases.append("parent"))
+        with ForkPatcher(registry):
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            assert reap(pid) == 0
+        # one bracket only: the inner fork must not have re-run prepare
+        assert phases == ["prepare", "parent"]
+
+    def test_sandboxed_handler_fork_bypasses_bracket(self, registry):
+        phases = []
+
+        def forking_prepare():
+            phases.append("prepare")
+            inner = os.fork()
+            if inner == 0:
+                os._exit(12)
+            assert reap(inner) == 12
+
+        registry.register("t", prepare=lambda: phases.append("prepare"),
+                          parent=lambda: phases.append("parent"))
+        with ForkPatcher(registry):
+            # run the forking handler the way the registry runs an
+            # untrusted one: on the sacrificial deadline thread, where
+            # the forking thread's depth counter is invisible
+            run_with_deadline("sandboxed", "prepare", forking_prepare, 10.0)
+        assert phases == ["prepare"]  # the inner fork ran no phases
 
 
 @pytest.mark.forks

@@ -243,3 +243,148 @@ class TestWatcherLiveness:
         watcher.poll_once()
         assert [r.pid for r in seen] == [99999999]
         assert len(pf.read_all()) == 1
+
+
+class TestTombstones:
+    def test_tombstone_masks_older_record(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record(pid=os.getpid()))
+        pf.tombstone(os.getpid(), reason="exec")
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        assert watcher.poll_once() == []
+        assert seen == []
+
+    def test_reannounce_after_tombstone_is_dialed(self, tmp_path):
+        """A recycled (or re-attached) pid announcing after its own
+        tombstone is a fresh debuggee: dial it."""
+        pf = PortFile(str(tmp_path / "ports"))
+        pid = os.getpid()
+        pf.announce(record(pid=pid, port=5000))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        watcher.poll_once()
+        pf.tombstone(pid, reason="daemonize")
+        watcher.poll_once()
+        fresh = PortRecord(pid=pid, parent_pid=1, host="127.0.0.1",
+                           port=5001, created_at=time.time() + 1)
+        pf.announce(fresh)
+        watcher.poll_once()
+        assert [(r.pid, r.port) for r in seen] == [(pid, 5000), (pid, 5001)]
+
+    def test_reap_drops_tombstone_and_covered_records(self, tmp_path):
+        """Tombstoned pids are reaped regardless of age or liveness —
+        the tombstone says the debugger is gone for good."""
+        pf = PortFile(str(tmp_path / "ports"))
+        pf.announce(record(pid=os.getpid()))  # alive AND fresh
+        pf.tombstone(os.getpid(), reason="detach")
+        pf.announce(record(pid=123456789, port=6000))
+        reaped = pf.reap_dead(min_age=3600.0)
+        assert sorted({r.pid for r in reaped}) == [os.getpid()]
+        assert [r.pid for r in pf.read_all()] == [123456789]
+
+    def test_tombstone_state_roundtrips(self):
+        rec = PortRecord(pid=7, parent_pid=1, host="", port=0,
+                         created_at=time.time(), state="tombstone",
+                         reason="exec")
+        back = PortRecord.from_json(rec.to_json())
+        assert back.tombstoned
+        assert back.reason == "exec"
+
+    def test_pre_tombstone_reader_compat(self):
+        """Live records serialise without the state field, so a reader
+        from before the tombstone era still parses them."""
+        rec = record()
+        assert "state" not in json.loads(rec.to_json())
+        assert not PortRecord.from_json(rec.to_json()).tombstoned
+
+
+class TestPortProbeGC:
+    def test_execd_pid_reaped_after_two_strikes(self, tmp_path):
+        """pid alive but debug port refusing: the debuggee exec'd away
+        without a tombstone.  Two consecutive failed probes condemn it
+        (one strike could be a watchdog mid-heal)."""
+        import socket
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        dead_port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens here any more
+        pf = PortFile(str(tmp_path / "ports"))
+        execd = PortRecord(pid=os.getpid(), parent_pid=1, host="127.0.0.1",
+                           port=dead_port, created_at=time.time() - 60)
+        pf.announce(execd)
+        assert pf.reap_dead(min_age=5.0, probe_ports=True) == []  # strike 1
+        reaped = pf.reap_dead(min_age=5.0, probe_ports=True)      # strike 2
+        assert [r.pid for r in reaped] == [os.getpid()]
+        assert pf.read_all() == []
+
+    def test_listening_port_never_struck(self, tmp_path):
+        import socket
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        try:
+            port = server.getsockname()[1]
+            pf = PortFile(str(tmp_path / "ports"))
+            live = PortRecord(pid=os.getpid(), parent_pid=1,
+                              host="127.0.0.1", port=port,
+                              created_at=time.time() - 60)
+            pf.announce(live)
+            for _ in range(3):
+                assert pf.reap_dead(min_age=5.0, probe_ports=True) == []
+            assert len(pf.read_all()) == 1
+        finally:
+            server.close()
+
+    def test_successful_probe_clears_strikes(self, tmp_path):
+        """A watchdog heal between probes resets the clock: strike,
+        then success, then strike again must NOT reap."""
+        import socket
+        pf = PortFile(str(tmp_path / "ports"))
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        rec = PortRecord(pid=os.getpid(), parent_pid=1, host="127.0.0.1",
+                         port=port, created_at=time.time() - 60)
+        pf.announce(rec)
+        assert pf.reap_dead(min_age=5.0, probe_ports=True) == []  # strike 1
+        server = socket.socket()
+        server.bind(("127.0.0.1", port))
+        server.listen(1)
+        try:
+            assert pf.reap_dead(min_age=5.0, probe_ports=True) == []  # clear
+        finally:
+            server.close()
+        assert pf.reap_dead(min_age=5.0, probe_ports=True) == []  # strike 1
+        assert len(pf.read_all()) == 1
+
+
+class TestWatcherRedial:
+    def test_new_port_for_known_pid_is_redialed(self, tmp_path):
+        """Watchdog heal: same pid announces fresh coordinates — the
+        old port is dead, the new one must be dialed."""
+        pf = PortFile(str(tmp_path / "ports"))
+        pid = os.getpid()
+        pf.announce(record(pid=pid, port=5000))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        watcher.poll_once()
+        healed = PortRecord(pid=pid, parent_pid=1, host="127.0.0.1",
+                            port=5001, created_at=time.time() + 1)
+        pf.announce(healed)
+        watcher.poll_once()
+        assert [(r.pid, r.port) for r in seen] == [(pid, 5000), (pid, 5001)]
+
+    def test_duplicate_announce_not_redialed(self, tmp_path):
+        pf = PortFile(str(tmp_path / "ports"))
+        pid = os.getpid()
+        pf.announce(record(pid=pid, port=5000))
+        seen = []
+        watcher = PortFileWatcher(portfile=pf, on_record=seen.append)
+        watcher.poll_once()
+        dup = PortRecord(pid=pid, parent_pid=1, host="127.0.0.1",
+                         port=5000, created_at=time.time() + 1)
+        pf.announce(dup)
+        watcher.poll_once()
+        assert len(seen) == 1

@@ -123,6 +123,69 @@ def find_reactor_blocking_calls(path: str) -> list:
     return hits
 
 
+#: The fork-handler prepare/child phases run with the debuggee frozen
+#: (prepare holds every sync object; the child has exactly one thread
+#: and no listener yet).  A blocking call there — a socket send, a log
+#: emit, an un-timed lock wait — turns every fork() into a stall the
+#: do-no-harm invariant forbids.  Phase bodies may only touch memory
+#: and the ringlog; anything that can wait on another party is banned.
+FORK_PHASE_MODULES = {
+    os.path.join("src", "repro", "core", "handlers.py"): (
+        "prepare_fork", "handle_parent_at_fork", "handle_child_at_fork",
+        "handle_child_obs"),
+    os.path.join("src", "repro", "forkhooks", "registry.py"): (
+        "run_prepare", "run_parent", "run_child", "_unwind"),
+}
+FORK_PHASE_BANNED_ATTRS = {"sendall", "send", "recv", "recv_into",
+                           "accept", "connect", "sleep",
+                           "info", "warning", "error", "debug"}
+FORK_PHASE_BANNED_NAMES = {"sleep"}
+
+
+def find_fork_phase_blocking_calls(path: str, function_names) -> list:
+    """(lineno, what) for blocking-looking calls inside the named
+    fork-phase functions of the file at *path* (nested defs included).
+
+    Flags ``<anything>.sendall/.send/.recv/.accept/.connect/.sleep``
+    and logging-style ``.info/.warning/...`` calls, bare ``sleep``, and
+    ``.acquire()`` with neither arguments nor a ``timeout=`` keyword —
+    an unbounded lock wait on the one path that must never wait.
+    Returns a sentinel entry per function missing entirely, so a rename
+    updates this lint instead of silently disabling it.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    functions = {}
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in function_names):
+            functions[node.name] = node
+    hits = []
+    for name in function_names:
+        if name not in functions:
+            hits.append((0, f"function {name!r} not found — update "
+                            f"tools/lint_hotpath.py for the rename"))
+    for name, function in sorted(functions.items()):
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in FORK_PHASE_BANNED_ATTRS:
+                    hits.append((node.lineno,
+                                 f".{func.attr}(...) in {name}"))
+                elif (func.attr == "acquire" and not node.args
+                        and not any(kw.arg == "timeout"
+                                    for kw in node.keywords)):
+                    hits.append((node.lineno,
+                                 f".acquire() without timeout in {name}"))
+            elif (isinstance(func, ast.Name)
+                    and func.id in FORK_PHASE_BANNED_NAMES):
+                hits.append((node.lineno, f"{func.id}(...) in {name}"))
+    return hits
+
+
 def main(argv: list) -> int:
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -163,12 +226,25 @@ def main(argv: list) -> int:
             f"{rel}:{lineno}: blocking call {what} in the client "
             f"reactor (the loop serves every session; wait via the "
             f"selector, do I/O via the framing pumps)")
+    for module, function_names in sorted(FORK_PHASE_MODULES.items()):
+        phase_path = os.path.join(root, module)
+        if not os.path.isfile(phase_path):
+            print(f"lint-hotpath: missing {phase_path}", file=sys.stderr)
+            return 2
+        for lineno, what in find_fork_phase_blocking_calls(
+                phase_path, function_names):
+            rel = os.path.relpath(phase_path, root)
+            problems.append(
+                f"{rel}:{lineno}: blocking call {what} in a fork-phase "
+                f"body (prepare/child run with the debuggee frozen; "
+                f"memory and the ringlog only)")
     if problems:
         print("\n".join(problems))
         return 1
     print(f"lint-hotpath: OK ({', '.join(HOT_PACKAGES)} are "
           f"logging-free; {FASTPATH_FUNCTION} is obs-free; the client "
-          f"reactor has no blocking calls)")
+          f"reactor has no blocking calls; fork-phase bodies have no "
+          f"blocking calls)")
     return 0
 
 
