@@ -155,6 +155,70 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Assemble the whole-fork-tree timeline: live sessions + dumps.
+
+    Unlike ``telemetry`` this works with ZERO live servers — the
+    post-mortem case (every process SIGKILLed) is the design point: the
+    black-box dumps under ``--blackbox-dir`` are enough.
+    """
+    import json
+    import os
+
+    from .client import DebugClient
+    from .obs import timeline as obs_timeline
+    from .obs.blackbox import BLACKBOX_DIR_ENV
+    from .util.portfile import PortFile
+
+    blackbox_dir = args.blackbox_dir or os.environ.get(BLACKBOX_DIR_ENV)
+    want_live = bool(args.portfile or args.connect)
+
+    if want_live:
+        client = DebugClient()
+        try:
+            if args.portfile:
+                client.watch_portfile(PortFile(args.portfile))
+                deadline = time.monotonic() + args.attach_timeout
+                while (not client.sessions()
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+            if args.connect:
+                host, _, port = args.connect.rpartition(":")
+                client.attach(host or "127.0.0.1", int(port))
+            document = client.cluster_timeline(
+                blackbox_dir=blackbox_dir,
+                ringlog_limit=args.ringlog_limit)
+        finally:
+            client.close()
+    else:
+        if not blackbox_dir:
+            print("dionea timeline: no --blackbox-dir (or "
+                  f"{BLACKBOX_DIR_ENV}) and no live server to poll",
+                  file=sys.stderr)
+            return 2
+        document = obs_timeline.assemble_from_dir(blackbox_dir)
+
+    other = document.get("otherData", {})
+    pids = other.get("processes", [])
+    holes = other.get("holes", [])
+    terminals = other.get("terminals", {})
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=1)
+        print(f"dionea: wrote {len(document['traceEvents'])} trace events "
+              f"for {len(pids)} processes to {args.out} "
+              f"(load in about:tracing or ui.perfetto.dev)")
+    else:
+        print(json.dumps(document, indent=1, default=str))
+    for pid in sorted(int(p) for p in terminals):
+        print(f"process {pid}: terminal {terminals[str(pid)]!r}",
+              file=sys.stderr)
+    for pid in holes:
+        print(f"process {pid}: MISSING (no telemetry, no dump)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the §7 overhead pair for one corpus profile, print the row."""
     import importlib.util
@@ -252,6 +316,27 @@ def build_parser() -> argparse.ArgumentParser:
                            help="seconds to wait for the first auto-attach "
                                 "when watching a port file")
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="merge live telemetry + black-box dumps into one Chrome "
+             "trace for the whole (possibly dead) fork tree")
+    timeline.add_argument("--blackbox-dir", default=None,
+                          help="directory of bb-*.jsonl dumps "
+                               "(default: $DIONEA_BLACKBOX_DIR)")
+    timeline.add_argument("--portfile", default=None,
+                          help="also attach to live servers via this "
+                               "rendezvous file")
+    timeline.add_argument("--connect", default=None, metavar="HOST:PORT",
+                          help="also attach to one live debug server")
+    timeline.add_argument("--out", default=None, metavar="PATH",
+                          help="write the trace JSON here instead of stdout")
+    timeline.add_argument("--ringlog-limit", type=int, default=500,
+                          help="ring-log tail length per live process")
+    timeline.add_argument("--attach-timeout", type=float, default=5.0,
+                          help="seconds to wait for the first auto-attach "
+                               "when watching a port file")
+    timeline.set_defaults(func=_cmd_timeline)
 
     corpus = sub.add_parser("corpus", help="materialise a benchmark corpus")
     corpus.add_argument("profile")

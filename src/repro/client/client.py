@@ -534,6 +534,49 @@ class DebugClient:
             out["client"] = client_snap
         return out
 
+    def cluster_timeline(self, blackbox_dir: Optional[str] = None,
+                         reset: bool = False,
+                         ringlog_limit: int = 500,
+                         timeout: Optional[float] = None,
+                         flush: bool = True) -> dict:
+        """One causally ordered Chrome trace for the WHOLE fork tree —
+        the living answering ``telemetry``, the dead speaking through
+        their black-box dumps.
+
+        *blackbox_dir* defaults to ``DIONEA_BLACKBOX_DIR``; with
+        *flush*, live sessions are asked to force a dump first so the
+        on-disk record is as fresh as the live one.  Pids the client has
+        ever observed (the process tree) are passed as expected pids, so
+        a child that died before writing anything shows up as an
+        explicit hole instead of vanishing.  Works with zero live
+        sessions: a purely post-mortem timeline is the design point.
+        """
+        import os as _os
+
+        from ..obs import timeline as obs_timeline
+        from ..obs.blackbox import BLACKBOX_DIR_ENV
+
+        if blackbox_dir is None:
+            blackbox_dir = _os.environ.get(BLACKBOX_DIR_ENV)
+        if flush and self.sessions():
+            # Best-effort: a session that cannot flush still contributes
+            # whatever its last incremental flush left on disk.
+            self.cluster_request("blackbox", {"flush": True},
+                                 timeout=timeout)
+        telemetry = self.cluster_telemetry(reset=reset,
+                                           ringlog_limit=ringlog_limit,
+                                           timeout=timeout)
+        live = list(telemetry.get("processes", {}).values())
+        document = obs_timeline.assemble_from_dir(
+            blackbox_dir, live_snapshots=live,
+            client_snapshot=telemetry.get("client"),
+            expected_pids=self.process_tree.pids())
+        if telemetry.get("errors"):
+            document["otherData"]["telemetry_errors"] = {
+                str(pid): why
+                for pid, why in telemetry["errors"].items()}
+        return document
+
     def cluster_set_break(self, file: Optional[str] = None,
                           line: Optional[int] = None,
                           function: Optional[str] = None,

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional
 from time import perf_counter as _perf_counter
 
 from ..obs import metrics as obs_metrics
+from ..obs.spans import SPANS
 from ..server import protocol
 from ..server.sockets import connect_endpoint
 from ..util.errors import (
@@ -50,7 +51,7 @@ class PendingCall:
     """
 
     __slots__ = ("session", "command", "request_id", "args",
-                 "_event", "_response", "_failure", "_sent_at")
+                 "_event", "_response", "_failure", "_sent_at", "_span")
 
     def __init__(self, session: "DebugSession", command: str,
                  request_id: int, args: Optional[dict]):
@@ -62,15 +63,29 @@ class PendingCall:
         self._response: Optional[dict] = None
         self._failure: Optional[BaseException] = None
         self._sent_at = _perf_counter()
+        #: client-side rpc span; its context is stamped onto the wire
+        #: request so the server's command span can link back to it.
+        self._span = SPANS.begin(f"rpc:{command}", cat="rpc",
+                                 pid=session.pid)
+
+    def _finish_span(self, outcome: str) -> None:
+        span = self._span
+        if span is None:
+            return
+        self._span = None
+        span.args["outcome"] = outcome
+        span.end()
 
     # -- resolution (reactor thread) ---------------------------------------
 
     def _complete(self, response: Optional[dict]) -> None:
         self._response = response
+        self._finish_span("ok" if response is not None else "closed")
         self._event.set()
 
     def _fail(self, exc: BaseException) -> None:
         self._failure = exc
+        self._finish_span("error")
         self._event.set()
 
     # -- caller side -------------------------------------------------------
@@ -86,6 +101,7 @@ class PendingCall:
             else session.request_timeout
         if not self._event.wait(deadline):
             session._forget(self.request_id)
+            self._finish_span("timeout")
             obs_metrics.inc("client.request_timeouts", command=self.command)
             raise RequestTimeoutError(
                 f"no response to {self.command!r} from pid {session.pid} "
@@ -288,9 +304,11 @@ class DebugSession:
         try:
             self._reactor.submit(
                 self._cmd_channel,
-                protocol.make_request(request_id, command, args))
+                protocol.make_request(request_id, command, args,
+                                      trace=call._span.context.to_wire()))
         except (OSError, FramingError) as exc:
             self._forget(request_id)
+            call._finish_span("send-failed")
             raise SessionLostError(f"send failed: {exc}") from exc
         return call
 

@@ -24,15 +24,20 @@ instrumented :mod:`repro.mp` primitives find it.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import uuid
-from typing import Optional
+from typing import Dict, Optional
 
+from .. import obs
 from ..forkhooks.augment import ForkPatcher
 from ..forkhooks.registry import ForkHandlerRegistry
 from ..forkhooks.resilience import ResiliencePolicy
 from ..forkhooks.syncobjects import SyncObjectRegistry
+from ..obs import causality
 from ..obs import metrics as obs_metrics
+from ..obs.blackbox import BLACKBOX, REASON_EXEC, REASON_STOP
 from ..util.errors import ForkHookError
 from ..server.debugserver import DebugServer
 from ..util.errors import ReproError
@@ -45,6 +50,28 @@ from .handlers import install_dionea_handlers, uninstall_dionea_handlers
 
 _current_lock = threading.Lock()
 _current: Optional["Dionea"] = None
+
+#: env slot carrying a ``TraceContext.to_wire`` JSON dict across exec:
+#: the old image stages it via :func:`exec_handoff_env`, the new image's
+#: :meth:`Dionea.start` consumes it and continues the trace.
+EXEC_HANDOFF_ENV = "DIONEA_EXEC_HANDOFF"
+
+
+def exec_handoff_env(env: Optional[Dict[str, str]] = None
+                     ) -> Dict[str, str]:
+    """Environment for an ``exec`` the post-exec debugger should continue.
+
+    Call just before ``os.exec*``: flushes a terminal ``exec`` marker
+    for this image's black box (the dump's story ends here on purpose)
+    and returns a copy of *env* (default ``os.environ``) with the
+    current trace root staged under ``DIONEA_EXEC_HANDOFF`` so the new
+    image's :meth:`Dionea.start` can root its trace under ours.
+    """
+    BLACKBOX.force_flush(REASON_EXEC, terminal=True)
+    staged = dict(os.environ if env is None else env)
+    staged[EXEC_HANDOFF_ENV] = json.dumps(
+        causality.process_root().to_wire())
+    return staged
 
 
 def current_dionea() -> Optional["Dionea"]:
@@ -72,6 +99,7 @@ class Dionea:
                  install_tracing: bool = True,
                  client_loss_grace: float = 3.0):
         self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.program = program or "dionea"
         self.portfile = PortFile(
             portfile_path or default_portfile_path(self.run_id))
         self.disturb_mode = DisturbMode(enabled=disturb)
@@ -120,6 +148,20 @@ class Dionea:
                                  "in this process")
             _current = self
         try:
+            # Exec survival: the previous image staged its trace root in
+            # the environment; continue that trace and relabel/rotate
+            # the obs state before anything records against it.
+            handoff_raw = os.environ.pop(EXEC_HANDOFF_ENV, None)
+            if handoff_raw is not None:
+                try:
+                    handoff = json.loads(handoff_raw)
+                except ValueError:
+                    handoff = None
+                obs.reset_after_exec(self.program,
+                                     labels={"run_id": self.run_id},
+                                     handoff=handoff)
+            obs.configure_blackbox(self.program,
+                                   labels={"run_id": self.run_id})
             self.disturb_mode.mark_primary(UEId.current())
             self.server.start(install_tracing=self._install_tracing,
                               announce=True)
@@ -141,6 +183,9 @@ class Dionea:
         if not self._started:
             return
         self._started = False
+        # Orderly shutdown is a terminal event too: without this marker
+        # the timeline would report a clean exit as an unclean death.
+        BLACKBOX.force_flush(REASON_STOP, terminal=True)
         if self.patcher.installed:
             self.patcher.uninstall()
         try:

@@ -66,6 +66,12 @@ class ProcessTree:
             if node is not None:
                 node.alive = False
 
+    def pids(self) -> List[int]:
+        """Every pid ever observed, dead or alive (the timeline's
+        expected-process set)."""
+        with self._lock:
+            return sorted(self._nodes)
+
     def roots(self) -> List[ProcessNode]:
         """Assemble the forest: children nested under known parents."""
         with self._lock:

@@ -33,7 +33,9 @@ import os
 import threading
 from typing import Callable, Optional
 
+from ..obs import causality
 from ..obs import metrics as obs_metrics
+from ..obs.blackbox import BLACKBOX
 from ..obs.spans import SPANS
 from ..testkit import faults
 from ..util.errors import ForkHookError
@@ -154,9 +156,19 @@ class ForkPatcher:
         # One span for the whole parent-side bracket (A → fork(2) → B):
         # the window during which the debuggee is frozen by the fork
         # protocol.  The child's copy of the open token dies with the
-        # obs fork reset, so only the parent records it.
-        bracket = SPANS.begin("fork.bracket", cat="fork")
-        registry.run_prepare()  # A — may raise, aborting the fork
+        # obs fork reset, so only the parent records it.  The bracket
+        # parents on the forking thread's context — or the control verb
+        # that resumed this process — and its own context is *staged*
+        # so the child's obs handler can root the child's trace under
+        # it (the fork flow edge of the causal timeline).
+        bracket = SPANS.begin("fork.bracket", cat="fork",
+                              parent=causality.fork_parent_context())
+        causality.stage_fork(bracket.context)
+        try:
+            registry.run_prepare()  # A — may raise, aborting the fork
+        except BaseException:
+            causality.clear_pending_fork()
+            raise
         try:
             # Injection point fork.os_fork: a raised OSError (EAGAIN,
             # ENOMEM...) is fork(2) itself failing after prepare ran —
@@ -164,14 +176,24 @@ class ForkPatcher:
             faults.maybe_fault("fork.os_fork")
             pid = self._original_fork()
         except BaseException:
+            causality.clear_pending_fork()
             registry.run_parent()  # undo A; we are still the parent
             obs_metrics.inc("fork.failures")
             raise
         if pid == 0:
             registry.run_child()  # C
             return 0
+        causality.clear_pending_fork()
         registry.run_parent()  # B
+        if bracket.args is None:
+            bracket.args = {"child_pid": pid}
+        else:
+            bracket.args["child_pid"] = pid
         bracket.end()
+        # Durable lineage: the bracket span carries child_pid, and a
+        # parent SIGKILLed later must still name its subtree post
+        # mortem.  No-op unless the black box is enabled.
+        BLACKBOX.flush()
         obs_metrics.inc("fork.forks")
         registry.note_clean_fork()
         if self.on_child_forked is not None:

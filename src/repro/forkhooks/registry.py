@@ -367,28 +367,49 @@ def run_around_fork(registry: ForkHandlerRegistry,
     call, standing in for ``fork(2)`` failing (EAGAIN/ENOMEM) at the
     worst moment.
     """
+    from ..obs import causality
     from ..obs.spans import SPANS
     from ..testkit import faults
     # The whole parent-side bracket (prepare → fork(2) → parent phase)
     # is one span: it is the window during which the debuggee is frozen
     # by the fork protocol.  The child's copy of the open token dies
-    # with the obs fork reset, so only the parent records it.
-    bracket = SPANS.begin("fork.bracket", cat="fork")
-    registry.run_prepare()
+    # with the obs fork reset, so only the parent records it.  Staging
+    # the bracket's context is what lets the child's obs handler root
+    # its trace under this span (mirrors augment._bracketed_fork).
+    bracket = SPANS.begin("fork.bracket", cat="fork",
+                          parent=causality.fork_parent_context())
+    causality.stage_fork(bracket.context)
+    try:
+        registry.run_prepare()
+    except BaseException:
+        causality.clear_pending_fork()
+        raise
     try:
         faults.maybe_fault("fork.os_fork")
         pid = fork()
     except BaseException:
         # fork itself failed: the parent still holds everything prepare
         # acquired; release it as if we were the (only) surviving parent.
+        causality.clear_pending_fork()
         registry.run_parent()
         obs_metrics.inc("fork.failures")
         raise
     if pid == 0:
         registry.run_child()
         return pid, True
+    causality.clear_pending_fork()
     registry.run_parent()
+    if bracket.args is None:
+        bracket.args = {"child_pid": pid}
+    else:
+        bracket.args["child_pid"] = pid
     bracket.end()
+    # Make the lineage durable now: if this parent is SIGKILLed later,
+    # the bracket span (with its child_pid) is what lets the post-mortem
+    # timeline name the subtree.  No-op unless the black box is enabled;
+    # non-blocking when it is.
+    from ..obs.blackbox import BLACKBOX
+    BLACKBOX.flush()
     obs_metrics.inc("fork.forks")
     registry.note_clean_fork()
     return pid, False

@@ -149,6 +149,10 @@ class Quarantine:
                     f"handler {label!r} quarantined: {reason}; "
                     f"reinstating after {self.policy.reinstate_after} "
                     f"clean forks")
+        # Durable evidence: a quarantine is exactly the kind of "why did
+        # debugging degrade" question the black box exists to answer.
+        from ..obs.blackbox import BLACKBOX, REASON_QUARANTINE
+        BLACKBOX.force_flush(f"{REASON_QUARANTINE}:{label}")
 
     def should_skip(self, label: str) -> bool:
         with self._lock:

@@ -1,31 +1,44 @@
 """repro.obs — fork-aware telemetry for the debugger itself.
 
 The paper promises *low intrusion* (§3); this package is how we keep
-that promise measurable instead of asserted.  Three layers:
+that promise measurable instead of asserted.  Five layers:
 
 * :mod:`repro.obs.metrics` — lock-light counters / gauges / fixed-bucket
   histograms with per-thread shards, merged only on snapshot;
 * :mod:`repro.obs.spans` — a begin/end span flight-recorder on a
-  RingLog-style ring, stamped with wall+monotonic clock pairs;
-* :mod:`repro.obs.export` — merges per-process telemetry snapshots into
-  one Chrome trace-event JSON (``about:tracing`` / Perfetto).
+  RingLog-style ring, stamped with wall+monotonic clock pairs and
+  causal span ids;
+* :mod:`repro.obs.causality` — trace contexts propagated across
+  threads, ``fork()`` and the wire, so a shell command stays causally
+  linked to the fork-tree activity it triggers;
+* :mod:`repro.obs.blackbox` — a bounded per-process flight-recorder
+  *file* (``DIONEA_BLACKBOX_DIR``) that survives the process, flushed
+  with reason codes on terminal events;
+* :mod:`repro.obs.export` / :mod:`repro.obs.timeline` — merge live
+  telemetry snapshots and black-box dumps into one Chrome trace-event
+  JSON (``about:tracing`` / Perfetto), fork flow edges included.
 
 Everything is process-global (one registry + one span ring per process,
 like the global ring log) and fork-aware: the obs fork handler
 registered by :mod:`repro.core.handlers` snapshots-and-resets the
-child's registry and re-labels it with the child's pid and session
-epoch, so per-process numbers stay honest across the fork chain.
+child's registry, re-labels it with the child's pid and session epoch,
+roots the child's trace under the parent's in-flight fork span, and
+rotates the black box onto a fresh dump file.
 
 The ``telemetry`` protocol command returns :func:`telemetry_snapshot`;
 ``DebugClient.cluster_telemetry`` aggregates it across every live
-session.
+session and ``DebugClient.cluster_timeline`` folds in the dumps of the
+dead.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Dict, Optional
 
+from . import causality
+from .blackbox import BLACKBOX, install_crash_hooks
 from .export import chrome_trace, validate_trace, write_chrome_trace
 from .metrics import (
     REGISTRY,
@@ -41,10 +54,11 @@ from .metrics import (
 from .spans import SPANS, SpanRecorder, span
 
 __all__ = [
-    "REGISTRY", "MetricsRegistry", "SPANS", "SpanRecorder",
-    "chrome_trace", "enabled", "inc", "labeled", "observe",
-    "register_gauge", "reset_after_fork", "set_enabled", "set_gauge",
-    "span", "telemetry_snapshot", "validate_trace", "write_chrome_trace",
+    "BLACKBOX", "REGISTRY", "MetricsRegistry", "SPANS", "SpanRecorder",
+    "causality", "chrome_trace", "configure_blackbox", "enabled", "inc",
+    "labeled", "observe", "register_gauge", "reset_after_exec",
+    "reset_after_fork", "set_enabled", "set_gauge", "span",
+    "telemetry_snapshot", "validate_trace", "write_chrome_trace",
 ]
 
 
@@ -54,21 +68,90 @@ def telemetry_snapshot(reset: bool = False,
 
     The ``clock`` anchor (wall + monotonic, captured together) is what
     lets the exporter place this process's monotonic stamps on a shared
-    wall-clock timeline.  With ``reset``, counters/histograms/spans are
-    drained after being read (the ring log is left alone — it is the
-    debugger's black box, owned by the `debug_log` command).
+    wall-clock timeline.  ``trace`` is the process's root trace context
+    (its causal link to the fork tree); ``blackbox`` names the durable
+    dump, if one is being written.  With ``reset``,
+    counters/histograms/spans are drained after being read (the ring
+    log is left alone — it is the debugger's black box, owned by the
+    `debug_log` command).
     """
     from ..util.ringlog import GLOBAL_LOG
     records = GLOBAL_LOG.snapshot()[-ringlog_limit:]
     return {
         "clock": {"wall": time.time(), "mono": time.monotonic()},
+        "trace": causality.process_root().to_wire(),
+        "blackbox": {"enabled": BLACKBOX.enabled, "path": BLACKBOX.path},
         "metrics": REGISTRY.snapshot(reset=reset),
         "spans": SPANS.snapshot(reset=reset),
         "ringlog": [r.to_dict() for r in records],
     }
 
 
+def configure_blackbox(program: str,
+                       labels: Optional[Dict[str, Any]] = None) -> None:
+    """Enable the crash black box when ``DIONEA_BLACKBOX_DIR`` is set
+    (and install the unhandled-exception/atexit flush hooks); cheap
+    no-op otherwise.  Called by the Dionea facade at start."""
+    BLACKBOX.configure_from_env(program, labels=labels)
+    if BLACKBOX.enabled:
+        install_crash_hooks()
+
+
 def reset_after_fork(labels: Optional[Dict[str, Any]] = None) -> None:
-    """Child-side fork handler body: fresh registry + ring, child labels."""
-    REGISTRY.reset_after_fork(labels=labels)
+    """Child-side fork handler body: fresh registry + ring + trace root
+    + black-box file, all child-labelled.
+
+    The child's root span records the fork lineage — parent pid and the
+    parent's in-flight ``fork.bracket`` span — which is what the
+    exporter turns into a fork flow edge.  When the black box is
+    enabled, that lineage is flushed to disk *immediately*: a child
+    SIGKILLed (or ``os._exit``-ed) moments after fork must still appear
+    in the post-mortem timeline with its flow edge.  The flush is safe
+    here — the rotation replaced the inherited lock and the child is
+    single-threaded — and never raises (OSError marks the box broken).
+    """
+    parent_ctx = causality.reset_after_fork()
     SPANS.reset_after_fork()
+    REGISTRY.reset_after_fork(labels=labels)
+    BLACKBOX.reset_after_fork(
+        parent_pid=parent_ctx.pid if parent_ctx else os.getppid())
+    root = causality.process_root()
+    args: Dict[str, Any] = {}
+    if parent_ctx is not None:
+        args["flow"] = {"kind": "fork", "parent_span": parent_ctx.span_id,
+                        "parent_pid": parent_ctx.pid,
+                        "wall": parent_ctx.wall}
+    SPANS.record("process.root", "process", root.wall, root.mono, 0.0,
+                 args or None, span_id=root.span_id,
+                 parent_id=root.parent_span_id, trace_id=root.trace_id)
+    BLACKBOX.flush()
+
+
+def reset_after_exec(program: str,
+                     labels: Optional[Dict[str, Any]] = None,
+                     handoff: Optional[Dict[str, Any]] = None) -> None:
+    """Exec-survival body: the process image changed but the pid (and
+    any surviving session) did not — relabel the registry, continue the
+    trace from the pre-exec root delivered via *handoff* (a
+    ``TraceContext.to_wire`` dict), and rotate the black box exactly as
+    the fork path does, so post-exec telemetry describes the new image
+    instead of the one that called ``exec``.
+    """
+    parent_ctx = causality.reset_after_exec(handoff)
+    SPANS.reset_after_fork()
+    merged = {"program": program, "exec": 1}
+    if parent_ctx is not None:
+        merged["exec_of"] = parent_ctx.span_id
+    merged.update(labels or {})
+    REGISTRY.reset_after_fork(labels=merged)
+    BLACKBOX.reset_after_exec(
+        program, exec_of=dict(handoff) if handoff else None)
+    root = causality.process_root()
+    args: Dict[str, Any] = {"exec": True}
+    if parent_ctx is not None:
+        args["flow"] = {"kind": "exec", "parent_span": parent_ctx.span_id,
+                        "parent_pid": parent_ctx.pid,
+                        "wall": parent_ctx.wall}
+    SPANS.record("process.exec", "process", root.wall, root.mono, 0.0,
+                 args, span_id=root.span_id,
+                 parent_id=root.parent_span_id, trace_id=root.trace_id)

@@ -14,6 +14,21 @@ the anchor instant — every offset within a process comes from its
 monotonic clock, so an NTP step mid-run skews one anchor, not every
 record (the multi-process-merge fix of this PR's RingLog satellite).
 
+Causality: spans carry ids (``id`` / ``parent`` / ``trace``, minted by
+:mod:`repro.obs.causality`), surfaced in each event's args.  A span
+whose args contain a ``flow`` descriptor —
+
+    {"kind": "fork"|"rpc", "parent_span": id, "parent_pid": pid,
+     "wall": stamp}
+
+— marks a causal edge *from another process* (the parent's in-flight
+``fork.bracket`` span, or the client span that sent a request).  The
+exporter renders those as Chrome flow events: an ``s`` (start) at the
+source process/time and an ``f`` (finish, ``bp: "e"``) bound to the
+destination span, so the viewer draws an arrow from the fork bracket
+into the child's root span, and from a shell command into the server
+work it caused.
+
 Reference: the Trace Event Format spec (Chromium catapult project).
 """
 
@@ -21,6 +36,10 @@ from __future__ import annotations
 
 import json
 from typing import Any, Dict, Iterable, List, Optional
+
+#: event phases the exporter emits / the validator accepts
+_PHASES = ("X", "B", "E", "i", "I", "C", "M", "s", "t", "f")
+_FLOW_PHASES = ("s", "t", "f")
 
 
 def _anchor_us(snapshot: Dict[str, Any], mono: float) -> float:
@@ -31,6 +50,32 @@ def _anchor_us(snapshot: Dict[str, Any], mono: float) -> float:
     if anchor_wall is None or anchor_mono is None:
         return mono * 1e6  # degenerate: no anchor, monotonic-only trace
     return (anchor_wall - (anchor_mono - mono)) * 1e6
+
+
+def _flow_events(span: Dict[str, Any], span_ts: float,
+                 pid: int) -> List[Dict[str, Any]]:
+    """The s/f pair for a span whose args carry a ``flow`` descriptor."""
+    flow = (span.get("args") or {}).get("flow")
+    if not isinstance(flow, dict):
+        return []
+    parent_pid = flow.get("parent_pid")
+    flow_id = span.get("id") or f"flow-{pid}-{span.get('mono', 0)}"
+    if not isinstance(parent_pid, int):
+        return []
+    kind = str(flow.get("kind", "flow"))
+    # The source stamp is a wall time captured *in the source process*
+    # when the context was minted — the same trust model as a snapshot
+    # anchor, and available even when the source process left no dump.
+    source_wall = flow.get("wall")
+    source_ts = (float(source_wall) * 1e6 if isinstance(source_wall,
+                 (int, float)) and source_wall else span_ts)
+    name = f"{kind}-flow"
+    return [
+        {"name": name, "cat": "flow", "ph": "s", "id": flow_id,
+         "ts": source_ts, "pid": parent_pid, "tid": 0},
+        {"name": name, "cat": "flow", "ph": "f", "bp": "e", "id": flow_id,
+         "ts": span_ts, "pid": pid, "tid": span.get("tid", 0)},
+    ]
 
 
 def chrome_trace(snapshots: Iterable[Dict[str, Any]],
@@ -63,20 +108,29 @@ def chrome_trace(snapshots: Iterable[Dict[str, Any]],
         events.append({"name": "process_name", "ph": "M", "pid": pid,
                        "tid": 0, "args": {"name": name}})
 
-        # Spans → complete ("X") events.
+        # Spans → complete ("X") events (+ flow edges for cross-process
+        # causal links).
         for span in snap.get("spans") or []:
+            span_pid = span.get("pid", pid)
+            span_ts = _anchor_us(snap, span["mono"])
             event = {
                 "name": span["name"],
                 "cat": span.get("cat", "debug"),
                 "ph": "X",
-                "ts": _anchor_us(snap, span["mono"]),
+                "ts": span_ts,
                 "dur": max(span.get("dur", 0.0), 0.0) * 1e6,
-                "pid": span.get("pid", pid),
+                "pid": span_pid,
                 "tid": span.get("tid", 0),
             }
-            if span.get("args"):
-                event["args"] = span["args"]
+            args = dict(span.get("args") or {})
+            for key, arg in (("id", "span_id"), ("parent", "parent_span_id"),
+                             ("trace", "trace_id")):
+                if span.get(key) is not None:
+                    args[arg] = span[key]
+            if args:
+                event["args"] = args
             events.append(event)
+            events.extend(_flow_events(span, span_ts, span_pid))
 
         # Ring-log records → instant ("i") events.
         for record in snap.get("ringlog") or []:
@@ -102,6 +156,7 @@ def chrome_trace(snapshots: Iterable[Dict[str, Any]],
     # Normalise to a small time origin so viewers show offsets, not
     # epoch microseconds; guard against an empty trace.
     stamped = [e for e in events if "ts" in e]
+    origin = 0.0
     if stamped:
         origin = min(e["ts"] for e in stamped)
         for event in stamped:
@@ -113,6 +168,7 @@ def chrome_trace(snapshots: Iterable[Dict[str, Any]],
         "otherData": {
             "exporter": "repro.obs",
             "processes": sorted({s.get("pid", 0) for s in all_snapshots}),
+            "origin_us": origin,
         },
     }
 
@@ -141,7 +197,7 @@ def validate_trace(document: Dict[str, Any]) -> List[str]:
             problems.append(f"event {i} is not an object")
             continue
         ph = event.get("ph")
-        if ph not in ("X", "B", "E", "i", "I", "C", "M"):
+        if ph not in _PHASES:
             problems.append(f"event {i}: unknown phase {ph!r}")
             continue
         if not isinstance(event.get("name"), str):
@@ -153,6 +209,9 @@ def validate_trace(document: Dict[str, Any]) -> List[str]:
                 problems.append(f"event {i}: negative ts")
         if ph == "X" and not isinstance(event.get("dur"), (int, float)):
             problems.append(f"event {i}: X event without dur")
+        if ph in _FLOW_PHASES and not isinstance(event.get("id"),
+                                                 (str, int)):
+            problems.append(f"event {i}: flow event without id")
         if not isinstance(event.get("pid"), int):
             problems.append(f"event {i}: missing pid")
     try:

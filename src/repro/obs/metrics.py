@@ -229,15 +229,19 @@ class MetricsRegistry:
         The inherited shards describe the parent's threads (which do not
         exist here — §5.1) and the parent's pid; keeping them would be
         the telemetry version of the Fig. 4 stale-metadata bug.
+
+        Fresh lock, assignments only: the inherited lock may have been
+        held by a parent thread mid-snapshot at the fork moment, and the
+        single-threaded child would block on it forever.
         """
-        with self._lock:
-            self._shards = []
-            self._local = threading.local()
-            self._gauges.clear()
-            self.labels["pid"] = os.getpid()
-            self.labels["epoch"] = int(self.labels.get("epoch", 0)) + 1
-            if labels:
-                self.labels.update(labels)
+        self._lock = threading.Lock()
+        self._shards = []
+        self._local = threading.local()
+        self._gauges = {}
+        self.labels["pid"] = os.getpid()
+        self.labels["epoch"] = int(self.labels.get("epoch", 0)) + 1
+        if labels:
+            self.labels.update(labels)
 
 
 #: The process-global registry every subsystem instruments into.  Forked

@@ -13,9 +13,18 @@ I/O.  Every record carries a **wall + monotonic timestamp pair** so the
 exporter can merge rings from many processes without trusting any one
 process's wall clock (NTP slew, clock steps).
 
+Since the causality layer landed, every span opened through
+:meth:`SpanRecorder.begin` also carries an **identity**: a span id plus
+the parent span id taken from the calling thread's active
+:class:`~repro.obs.causality.TraceContext` (or an explicit ``parent=``).
+That identity is what lets the exporter draw fork and RPC flow edges
+between processes, and what the black box dedupes on.
+
 A forked child inherits the parent's ring; its spans describe the
 parent's timeline, so the child's fork handler calls
-:meth:`SpanRecorder.reset_after_fork`.
+:meth:`SpanRecorder.reset_after_fork`.  The black box drains the ring
+incrementally through :meth:`SpanRecorder.drain_since`; an optional
+flush hook fires every ``interval`` records, outside the ring lock.
 """
 
 from __future__ import annotations
@@ -23,23 +32,43 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import causality
 
 
 class _OpenSpan:
     """Token returned by :meth:`SpanRecorder.begin`; finish it with
     :meth:`SpanRecorder.end` or use it as a context manager."""
 
-    __slots__ = ("recorder", "name", "cat", "t0_wall", "t0_mono", "args")
+    __slots__ = ("recorder", "name", "cat", "t0_wall", "t0_mono", "args",
+                 "span_id", "parent_id", "trace_id")
 
     def __init__(self, recorder: "SpanRecorder", name: str, cat: str,
-                 args: Optional[Dict[str, Any]]):
+                 args: Optional[Dict[str, Any]],
+                 parent: Optional[causality.TraceContext] = None):
         self.recorder = recorder
         self.name = name
         self.cat = cat
         self.args = args
+        if parent is None:
+            # Root on the process context so every span belongs to the
+            # tree's trace even when no request/fork context is active.
+            parent = causality.current() or causality.process_root()
+        self.span_id = causality.new_span_id()
+        self.parent_id = parent.span_id
+        self.trace_id = parent.trace_id
         self.t0_wall = time.time()
         self.t0_mono = time.monotonic()
+
+    @property
+    def context(self) -> causality.TraceContext:
+        """This span as a causal parent for children (threads, wire,
+        forked processes)."""
+        return causality.TraceContext(
+            trace_id=self.trace_id or causality.process_root().trace_id,
+            span_id=self.span_id, parent_span_id=self.parent_id,
+            pid=os.getpid(), wall=self.t0_wall, mono=self.t0_mono)
 
     def end(self) -> None:
         self.recorder.end(self)
@@ -61,6 +90,8 @@ class SpanRecorder:
         self._records: List[Optional[tuple]] = [None] * capacity
         self._next_seq = 0
         self._lock = threading.Lock()
+        self._flush_hook: Optional[Callable[[], None]] = None
+        self._flush_interval = 0
 
     @property
     def capacity(self) -> int:
@@ -69,31 +100,63 @@ class SpanRecorder:
     # -- recording --------------------------------------------------------------
 
     def begin(self, name: str, cat: str = "debug",
+              parent: Optional[causality.TraceContext] = None,
               **args: Any) -> _OpenSpan:
         """Open a span; stamp taken now, recorded at :meth:`end`."""
-        return _OpenSpan(self, name, cat, args or None)
+        return _OpenSpan(self, name, cat, args or None, parent=parent)
 
-    def span(self, name: str, cat: str = "debug", **args: Any) -> _OpenSpan:
+    def span(self, name: str, cat: str = "debug",
+             parent: Optional[causality.TraceContext] = None,
+             **args: Any) -> _OpenSpan:
         """Context-manager sugar: ``with spans.span("fork.child"): ...``"""
-        return self.begin(name, cat, **args)
+        return self.begin(name, cat, parent=parent, **args)
 
     def end(self, token: _OpenSpan) -> None:
         duration = time.monotonic() - token.t0_mono
         self.record(token.name, token.cat, token.t0_wall, token.t0_mono,
-                    duration, token.args)
+                    duration, token.args, span_id=token.span_id,
+                    parent_id=token.parent_id, trace_id=token.trace_id)
 
     def record(self, name: str, cat: str, t0_wall: float, t0_mono: float,
                duration: float,
-               args: Optional[Dict[str, Any]] = None) -> None:
+               args: Optional[Dict[str, Any]] = None, *,
+               span_id: Optional[str] = None,
+               parent_id: Optional[str] = None,
+               trace_id: Optional[str] = None) -> None:
         """Append one completed span (already-timed path)."""
         entry = (name, cat, os.getpid(), threading.get_ident(),
-                 t0_wall, t0_mono, duration, args)
+                 t0_wall, t0_mono, duration, args,
+                 span_id, parent_id, trace_id)
         with self._lock:
             seq = self._next_seq
             self._next_seq += 1
             self._records[seq % self._capacity] = entry
+            hook = self._flush_hook
+            interval = self._flush_interval
+        # Fire the incremental-flush hook outside the ring lock so its
+        # I/O can never block another recording thread.
+        if hook is not None and interval and (seq + 1) % interval == 0:
+            hook()
 
     # -- reading ---------------------------------------------------------------
+
+    @staticmethod
+    def _to_dict(row: tuple, seq: Optional[int] = None) -> Dict[str, Any]:
+        (name, cat, pid, tid, wall, mono, dur, args,
+         span_id, parent_id, trace_id) = row
+        record = {"name": name, "cat": cat, "pid": pid, "tid": tid,
+                  "wall": wall, "mono": mono, "dur": dur}
+        if args:
+            record["args"] = dict(args)
+        if span_id is not None:
+            record["id"] = span_id
+        if parent_id is not None:
+            record["parent"] = parent_id
+        if trace_id is not None:
+            record["trace"] = trace_id
+        if seq is not None:
+            record["seq"] = seq
+        return record
 
     def snapshot(self, reset: bool = False) -> List[Dict[str, Any]]:
         """Retained spans, oldest first, as JSON-ready dicts."""
@@ -105,17 +168,35 @@ class SpanRecorder:
             if reset:
                 self._records = [None] * self._capacity
                 self._next_seq = 0
-        out = []
-        for row in rows:
-            if row is None:
-                continue
-            name, cat, pid, tid, wall, mono, dur, args = row
-            record = {"name": name, "cat": cat, "pid": pid, "tid": tid,
-                      "wall": wall, "mono": mono, "dur": dur}
-            if args:
-                record["args"] = dict(args)
-            out.append(record)
-        return out
+        return [self._to_dict(row) for row in rows if row is not None]
+
+    def drain_since(self, cursor: int) -> Tuple[int, int, List[Dict[str, Any]]]:
+        """Records with seq >= *cursor* still in the ring, oldest first.
+
+        Returns ``(new_cursor, dropped, records)`` where *dropped*
+        counts records that rolled off the ring before being drained —
+        the black box reports that honestly instead of papering over a
+        gap.  Record dicts carry their ``seq`` so a reader can order and
+        dedupe dumps even when the same span batch was written twice.
+        """
+        with self._lock:
+            total = self._next_seq
+            start = max(cursor, total - self._capacity, 0)
+            rows = [(s, self._records[s % self._capacity])
+                    for s in range(start, total)]
+        dropped = max(0, start - cursor) if cursor < total else 0
+        records = [self._to_dict(row, seq=s)
+                   for s, row in rows if row is not None]
+        return total, dropped, records
+
+    def set_flush_hook(self, hook: Optional[Callable[[], None]],
+                       interval: int = 256) -> None:
+        """Install *hook* to run after every *interval*-th record (or
+        remove it with ``None``).  Runs on the recording thread, outside
+        the ring lock; the hook owns its own reentrancy protection."""
+        with self._lock:
+            self._flush_hook = hook
+            self._flush_interval = max(1, int(interval)) if hook else 0
 
     @property
     def dropped(self) -> int:
@@ -123,10 +204,16 @@ class SpanRecorder:
             return max(0, self._next_seq - self._capacity)
 
     def reset_after_fork(self) -> None:
-        """Child fork handler: inherited spans are the parent's timeline."""
-        with self._lock:
-            self._records = [None] * self._capacity
-            self._next_seq = 0
+        """Child fork handler: inherited spans are the parent's timeline.
+
+        Fresh lock, assignments only: the inherited lock may have been
+        held by a parent thread mid-:meth:`record` at the fork moment,
+        and this child is single-threaded — acquiring it would deadlock
+        forever.
+        """
+        self._lock = threading.Lock()
+        self._records = [None] * self._capacity
+        self._next_seq = 0
 
 
 #: Process-global flight recorder, exported by the `telemetry` command
@@ -134,6 +221,8 @@ class SpanRecorder:
 SPANS = SpanRecorder()
 
 
-def span(name: str, cat: str = "debug", **args: Any) -> _OpenSpan:
+def span(name: str, cat: str = "debug",
+         parent: Optional[causality.TraceContext] = None,
+         **args: Any) -> _OpenSpan:
     """Record one span on the global flight recorder."""
-    return SPANS.span(name, cat, **args)
+    return SPANS.span(name, cat, parent=parent, **args)

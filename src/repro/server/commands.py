@@ -418,6 +418,17 @@ def cmd_telemetry(server: "DebugServer", args: Dict[str, Any]) -> Any:
     return snap
 
 
+@command("blackbox")
+def cmd_blackbox(server: "DebugServer", args: Dict[str, Any]) -> Any:
+    """Flight-recorder status; ``flush=True`` forces a dump to disk."""
+    from ..obs.blackbox import BLACKBOX
+    if args.get("flush"):
+        BLACKBOX.force_flush("command")
+    status = BLACKBOX.describe()
+    status["pid"] = server.session.pid
+    return status
+
+
 @command("debug_log")
 def cmd_debug_log(server: "DebugServer", args: Dict[str, Any]) -> Any:
     """The debugger's own ring log — for debugging the debugger."""

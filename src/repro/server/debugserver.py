@@ -33,7 +33,9 @@ from typing import Any, Callable, Dict, Optional
 
 from time import perf_counter as _perf_counter
 
+from ..obs import causality
 from ..obs import metrics as obs_metrics
+from ..obs.blackbox import BLACKBOX, REASON_WATCHDOG_HEAL
 from ..obs.spans import SPANS
 from ..testkit import faults
 from ..tracing.breakpoints import BreakpointStore
@@ -175,6 +177,9 @@ class DebugServer:
             self._detached = True
         obs_metrics.inc("server.detaches")
         debug_event("server", f"detaching from debuggee: {reason}")
+        # Terminal black-box flush FIRST: "why did the debugger let go"
+        # must hit disk before any teardown step can wedge or die.
+        BLACKBOX.force_flush(f"detach:{reason}", terminal=True)
         # Tombstone BEFORE the sockets go: the instant the listener
         # dies, a watching client starts redialing unless told not to.
         if self.portfile is not None:
@@ -259,6 +264,8 @@ class DebugServer:
             self.announce()
         debug_event("server", f"listener healed ({why}): "
                               f"now on port {self.port}")
+        # Durable way-point: a heal means the debugger nearly died here.
+        BLACKBOX.force_flush(f"{REASON_WATCHDOG_HEAL}:{why}")
 
     def __enter__(self) -> "DebugServer":
         self.start()
@@ -377,6 +384,12 @@ class DebugServer:
 
     # -- request dispatch ---------------------------------------------------------------
 
+    #: verbs that release debuggee execution: their trace context is
+    #: parked as the process's *control context* so the next fork
+    #: bracket — debuggee code this verb resumed — links back to it.
+    _CONTROL_COMMANDS = frozenset((
+        "resume", "resume_all", "feed_input", "close_input", "detach"))
+
     def _handle_request(self, conn: Connection, message: dict) -> None:
         request_id = message["id"]
         command_name = message["command"]
@@ -386,7 +399,19 @@ class DebugServer:
         # cost, which is what §7's intrusion argument is about.
         obs_metrics.inc("server.commands", command=command_name)
         t0 = _perf_counter()
-        with SPANS.span(f"cmd:{command_name}", cat="command"):
+        # Causal link-back: the client stamped its request span on the
+        # message; the command span becomes its child, with an rpc flow
+        # descriptor so the exporter draws the cross-process edge.
+        ctx = causality.from_wire(message.get("trace"))
+        span_args: Dict[str, Any] = {}
+        if ctx is not None:
+            span_args["flow"] = {"kind": "rpc", "parent_span": ctx.span_id,
+                                 "parent_pid": ctx.pid, "wall": ctx.wall}
+        cmd_span = SPANS.begin(f"cmd:{command_name}", cat="command",
+                               parent=ctx, **span_args)
+        if command_name in self._CONTROL_COMMANDS:
+            causality.note_control(cmd_span.context)
+        with cmd_span, causality.activate(cmd_span.context):
             try:
                 # Injection point server.request.dispatch: a `delay` fault
                 # freezes the reactor mid-request (the client's per-request

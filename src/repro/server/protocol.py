@@ -93,13 +93,19 @@ def make_pong(seq: int, pid: int = 0) -> Dict[str, Any]:
 
 
 def make_request(request_id: int, command: str,
-                 args: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    return {
+                 args: Optional[Dict[str, Any]] = None,
+                 trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    message = {
         "type": "request",
         "id": request_id,
         "command": command,
         "args": args or {},
     }
+    # Optional causal context (repro.obs.causality wire dict).  Old
+    # servers ignore unknown envelope fields, so stamping is always safe.
+    if trace:
+        message["trace"] = trace
+    return message
 
 
 def make_response(request_id: int, result: Any = None) -> Dict[str, Any]:
@@ -113,9 +119,12 @@ def make_error(request_id: int, message: str,
             "error": {"kind": kind, "message": message}}
 
 
-def make_event(event: str, payload: Optional[Dict[str, Any]] = None
-               ) -> Dict[str, Any]:
-    return {"type": "event", "event": event, "payload": payload or {}}
+def make_event(event: str, payload: Optional[Dict[str, Any]] = None,
+               trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    message = {"type": "event", "event": event, "payload": payload or {}}
+    if trace:
+        message["trace"] = trace
+    return message
 
 
 def message_type(message: Any) -> str:

@@ -90,16 +90,27 @@ class Connection:
         connections (paper Fig. 5): ``shutdown(2)`` acts on the shared
         socket, so a child shutting down its copies would sever the
         parent's live client session.
+
+        The inherited-close mode must also never touch the inherited
+        ``_send_lock``: the parent's listener thread may have been
+        mid-:meth:`send` (lock held) at the fork moment, and no thread
+        in the single-threaded child will ever release its copy.  The
+        flag flip is safe without the lock — there is no one to race.
         """
-        with self._send_lock:
-            if self._closed:
-                return
-            self._closed = True
         if shutdown:
+            with self._send_lock:
+                if self._closed:
+                    return
+                self._closed = True
             try:
                 self.sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
+        else:
+            if self._closed:
+                return
+            self._closed = True
+            self._send_lock = threading.Lock()
         try:
             self.sock.close()
         except OSError:

@@ -490,6 +490,83 @@ def chaos_deep_tree_churn(ctx: ScenarioContext) -> None:
     ctx.details["branching"] = branching
 
 
+# ---------------------------------------------------------------------------
+# chaos_blackbox_postmortem: SIGKILL mid-fork with the black box on,
+# then reconstruct the whole tree from the dump files ALONE.  This is
+# the flight-recorder acceptance scenario: no process of the debugged
+# run survives to answer telemetry, yet `dionea timeline` must name
+# every pid, draw the fork flow edges, and report how each process
+# ended (the SIGKILLed root's missing terminal marker IS the finding).
+
+@register_scenario("chaos_blackbox_postmortem")
+def chaos_blackbox_postmortem(ctx: ScenarioContext) -> None:
+    import shutil
+    import tempfile
+
+    from ..obs import timeline
+    from ..obs.blackbox import scan_dir
+    from ..obs.export import validate_trace
+
+    rounds = ctx.rng.randint(3, 5)
+    kill_round = ctx.rng.randrange(1, rounds)
+    bb_dir = tempfile.mkdtemp(prefix="dionea-chaos-bb-")
+    ctx.defer(lambda: shutil.rmtree(bb_dir, ignore_errors=True))
+
+    def make_workload(mode: str):
+        def body() -> int:
+            for i in range(rounds):
+                _emit(f"bb round {i} start\n")
+                if mode == "bare" and i == kill_round:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                pid = os.fork()  # debugged: fault fires in the bracket
+                if pid == 0:
+                    _emit(f"bb round {i} child\n")
+                    os._exit(0)
+                os.waitpid(pid, 0)
+                _emit(f"bb round {i} done\n")
+            return 3           # unreachable: the kill always fires
+        return body
+
+    def arm() -> None:
+        faults.registry().arm("fork.os_fork", faults.Fault.kill(),
+                              faults.Schedule.on_hits(kill_round + 1))
+
+    outcome = do_no_harm(ctx, make_workload, arm_debugged=arm,
+                         env={"DIONEA_BLACKBOX_DIR": bb_dir})
+    assert outcome.exit_code == -int(signal.SIGKILL), outcome.exit_code
+
+    # Post-mortem: every process of the debugged run is dead.  The
+    # dumps alone must reconstruct the tree.
+    dumps = scan_dir(bb_dir)
+    assert dumps, "no black-box dumps survived the kill"
+    root_pids = [d.pid for d in dumps
+                 if not any("parent_pid" in (r.get("labels") or {})
+                            for r in d.records if r.get("kind") == "open")]
+    assert len(root_pids) == 1, root_pids
+    root_pid = root_pids[0]
+    child_pids = sorted(d.pid for d in dumps if d.pid != root_pid)
+    # Every round before the kill forked one child; each must speak.
+    assert len(child_pids) == kill_round, (child_pids, kill_round)
+
+    document = timeline.assemble_from_dir(bb_dir)
+    assert validate_trace(document) == []
+    other = document["otherData"]
+    assert set(other["processes"]) >= {root_pid, *child_pids}
+    assert other["holes"] == [], other["holes"]
+    # Nobody got to write a terminal marker: unclean across the board —
+    # for the root, that absence is the SIGKILL finding itself.
+    assert other["terminals"][str(root_pid)] == timeline.UNCLEAN
+    for pid in child_pids:
+        assert other["terminals"][str(pid)] == timeline.UNCLEAN
+    # The fork flow edges tie every child back to the root's brackets.
+    flow_pids = {e["pid"] for e in document["traceEvents"]
+                 if e.get("cat") == "flow" and e["ph"] == "f"}
+    assert flow_pids >= set(child_pids), (flow_pids, child_pids)
+    ctx.details["kill_round"] = kill_round
+    ctx.details["dump_files"] = len(dumps)
+    ctx.details["pids_reconstructed"] = len(other["processes"])
+
+
 #: every chaos scenario name, for harnesses that sweep the whole tier
 CHAOS_SCENARIOS = [
     "chaos_hung_prepare",
@@ -499,4 +576,5 @@ CHAOS_SCENARIOS = [
     "chaos_daemonize",
     "chaos_sigkill_mid_fork",
     "chaos_deep_tree_churn",
+    "chaos_blackbox_postmortem",
 ]

@@ -117,11 +117,14 @@ class RingLog:
         """Child-side fork handler hook: start the child with a clean log.
 
         Inherited records describe the parent; keeping them would be
-        exactly the stale-metadata problem of paper Fig. 4.
+        exactly the stale-metadata problem of paper Fig. 4.  Fresh lock,
+        assignments only: the inherited lock may have been held by a
+        parent thread mid-append at the fork moment, and the
+        single-threaded child would block on it forever.
         """
-        with self._lock:
-            self._records = [None] * self._capacity
-            self._next_seq = 0
+        self._lock = threading.Lock()
+        self._records = [None] * self._capacity
+        self._next_seq = 0
 
 
 #: Process-global diagnostic log used by the debugger internals.  Children

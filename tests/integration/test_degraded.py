@@ -67,6 +67,11 @@ class TestDegradedMode:
 
     def test_detach_tombstones_portfile(self, attached, portfile_path):
         debugger, client = attached
+        # Stop the watcher first: its GC deliberately reaps tombstones
+        # ("both the tombstone and every record it covers"), so a tick
+        # landing between the write and the read would erase the very
+        # record this test asserts on.
+        client.close()
         debugger._degrade("test")
         records = PortFile(portfile_path).read_all()
         assert any(r.tombstoned and r.pid == os.getpid() for r in records)

@@ -1,0 +1,175 @@
+"""Integration: causal fork-tree tracing + the post-mortem timeline.
+
+A real Dionea facade with the black box enabled, a watching client and
+real ``os.fork`` calls.  Requests must carry trace context the server
+links back to, forked children must root their traces under the
+parent's fork bracket, dead children must keep speaking through their
+black-box dumps, and ``dionea timeline`` must reassemble the whole tree
+without a single live server.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.client import DebugClient
+from repro.obs.blackbox import BLACKBOX, scan_dir
+from repro.obs.export import validate_trace
+
+pytestmark = pytest.mark.forks
+
+
+def wait_child(pid, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        done, status = os.waitpid(pid, os.WNOHANG)
+        if done == pid:
+            return os.waitstatus_to_exitcode(status)
+        time.sleep(0.01)
+    os.kill(pid, 9)
+    os.waitpid(pid, 0)
+    raise AssertionError(f"child {pid} did not exit in {timeout}s")
+
+
+@pytest.fixture
+def bb_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "blackbox"
+    monkeypatch.setenv("DIONEA_BLACKBOX_DIR", str(directory))
+    yield str(directory)
+    # The box is process-global; leave it disabled for the next test.
+    BLACKBOX.configure(None, "teardown")
+
+
+@pytest.fixture
+def dionea_bb(bb_dir, portfile_path):
+    from repro.core import Dionea
+    debugger = Dionea(program="timeline-test",
+                      portfile_path=portfile_path, park_timeout=15.0)
+    debugger.start()
+    yield debugger
+    debugger.stop()
+
+
+@pytest.fixture
+def watching_client(dionea_bb, waiter):
+    client = DebugClient()
+    client.watch_portfile(dionea_bb.portfile)
+    waiter(lambda: client.sessions(), message="attach to parent")
+    yield client
+    client.close()
+
+
+class TestCausalPropagation:
+    def test_request_context_links_server_span(self, dionea_bb,
+                                               watching_client):
+        session = watching_client.sessions()[0]
+        session.request("info")
+        snap = session.request("telemetry", {})
+        cmd_spans = [s for s in snap["spans"]
+                     if s["name"] == "cmd:info"]
+        assert cmd_spans, "command span missing"
+        flow = (cmd_spans[-1].get("args") or {}).get("flow")
+        assert flow and flow["kind"] == "rpc"
+        assert flow["parent_pid"] == os.getpid()
+        assert cmd_spans[-1]["parent"] == flow["parent_span"]
+
+    def test_child_trace_rooted_under_parent(self, dionea_bb,
+                                             watching_client):
+        parent_session = watching_client.session_for_pid(os.getpid())
+        parent_snap = parent_session.request("telemetry", {})
+        # Gate the child's exit on the parent: a fixed sleep loses the
+        # race against attach latency under a loaded suite, leaving the
+        # watcher dialing a corpse for the whole timeout.
+        hold_r, hold_w = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(hold_w)
+            os.read(hold_r, 1)
+            os._exit(0)
+        os.close(hold_r)
+        try:
+            child_session = watching_client.session_for_pid(pid, timeout=10)
+            child_snap = child_session.request("telemetry", {})
+        finally:
+            os.write(hold_w, b"x")
+            os.close(hold_w)
+        assert child_snap["trace"]["trace_id"] == \
+            parent_snap["trace"]["trace_id"]
+        roots = [s for s in child_snap["spans"]
+                 if s["name"] == "process.root"]
+        assert roots, "child did not record its root span"
+        flow = roots[0]["args"]["flow"]
+        assert flow["kind"] == "fork"
+        assert flow["parent_pid"] == os.getpid()
+        wait_child(pid)
+
+    def test_blackbox_command_reports_dump(self, dionea_bb,
+                                           watching_client, bb_dir):
+        session = watching_client.sessions()[0]
+        status = session.request("blackbox", {"flush": True})
+        assert status["enabled"] is True
+        assert status["path"] and os.path.isfile(status["path"])
+        assert status["records"] >= 1
+
+
+class TestClusterTimeline:
+    def test_dead_child_speaks_through_its_dump(self, dionea_bb,
+                                                watching_client, bb_dir,
+                                                waiter):
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)  # dies before any terminal flush: unclean
+        wait_child(pid)
+        waiter(lambda: any(d.pid == pid for d in scan_dir(bb_dir)),
+               message="child dump on disk")
+        document = watching_client.cluster_timeline(blackbox_dir=bb_dir)
+        other = document["otherData"]
+        assert {os.getpid(), pid} <= set(other["processes"])
+        assert other["sources"][str(pid)] == "blackbox"
+        assert other["terminals"][str(pid)] == "unclean"
+        assert other["sources"][str(os.getpid())] in ("live", "merged")
+        flows = [e for e in document["traceEvents"]
+                 if e.get("name") == "fork-flow"]
+        assert {e["pid"] for e in flows} >= {os.getpid(), pid}
+        assert validate_trace(document) == []
+
+
+class TestCliPostMortem:
+    def test_timeline_command_needs_no_live_server(self, bb_dir,
+                                                   portfile_path,
+                                                   tmp_path, capsys):
+        """The acceptance scenario: the whole tree is dead; the dumps
+        alone must reconstruct it."""
+        from repro.cli import main
+        from repro.core import Dionea
+
+        debugger = Dionea(program="postmortem",
+                          portfile_path=portfile_path, park_timeout=5.0)
+        debugger.start()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        wait_child(pid)
+        debugger.stop()
+
+        out = tmp_path / "trace.json"
+        assert main(["timeline", "--blackbox-dir", bb_dir,
+                     "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        other = document["otherData"]
+        assert {os.getpid(), pid} <= set(other["processes"])
+        assert other["terminals"][str(os.getpid())] == "stop"
+        assert other["terminals"][str(pid)] == "unclean"
+        assert validate_trace(document) == []
+        stderr = capsys.readouterr().err
+        assert "unclean" in stderr
+
+    def test_timeline_command_without_sources_fails_cleanly(self, tmp_path,
+                                                            monkeypatch,
+                                                            capsys):
+        from repro.cli import main
+        monkeypatch.delenv("DIONEA_BLACKBOX_DIR", raising=False)
+        assert main(["timeline"]) == 2
+        assert "no --blackbox-dir" in capsys.readouterr().err

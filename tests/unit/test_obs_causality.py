@@ -1,0 +1,146 @@
+"""Unit tests: trace-context propagation (repro.obs.causality)."""
+
+import os
+
+import pytest
+
+from repro.obs import causality
+
+
+@pytest.fixture(autouse=True)
+def clean_causality():
+    """Each test starts with no root/control/pending state and ends the
+    same way — causality is process-global by design."""
+    causality.clear_pending_fork()
+    causality._tls.stack = []  # noqa: SLF001 - test hygiene
+    causality._control = None  # noqa: SLF001
+    causality._root = None  # noqa: SLF001
+    yield
+    causality.clear_pending_fork()
+    causality._tls.stack = []  # noqa: SLF001
+    causality._control = None  # noqa: SLF001
+    causality._root = None  # noqa: SLF001
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = causality.TraceContext(trace_id="t1", span_id="s1",
+                                     parent_span_id="s0", pid=42,
+                                     wall=100.0, mono=5.0)
+        back = causality.from_wire(ctx.to_wire())
+        assert back == ctx
+
+    def test_from_wire_tolerates_garbage(self):
+        assert causality.from_wire(None) is None
+        assert causality.from_wire("nope") is None
+        assert causality.from_wire({}) is None
+        assert causality.from_wire({"trace_id": 7, "span_id": "s"}) is None
+        # Bad optional fields degrade, never raise.
+        ctx = causality.from_wire({"trace_id": "t", "span_id": "s",
+                                   "parent_span_id": 9,
+                                   "pid": "zero", "wall": [], "mono": {}})
+        assert ctx is not None
+        assert ctx.parent_span_id is None
+        assert ctx.pid == 0
+
+    def test_child_links_back(self):
+        root = causality.process_root()
+        child = root.child(causality.new_span_id())
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.pid == os.getpid()
+
+
+class TestIds:
+    def test_ids_are_unique(self):
+        ids = {causality.new_span_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_reseed_changes_prefix(self):
+        before = causality.new_span_id()
+        causality._reseed()  # noqa: SLF001 - the fork-handler body
+        after = causality.new_span_id()
+        assert before.rsplit(".", 1)[0] != after.rsplit(".", 1)[0]
+
+
+class TestThreadStack:
+    def test_activate_scopes_current(self):
+        assert causality.current() is None
+        ctx = causality.process_root().child(causality.new_span_id())
+        with causality.activate(ctx):
+            assert causality.current() is ctx
+        assert causality.current() is None
+
+    def test_activate_none_is_noop(self):
+        with causality.activate(None):
+            assert causality.current() is None
+
+    def test_nested_activation(self):
+        a = causality.process_root().child(causality.new_span_id())
+        b = a.child(causality.new_span_id())
+        with causality.activate(a):
+            with causality.activate(b):
+                assert causality.current() is b
+            assert causality.current() is a
+
+
+class TestForkParentPrecedence:
+    def test_falls_back_to_process_root(self):
+        assert causality.fork_parent_context() == causality.process_root()
+
+    def test_control_verb_beats_root(self):
+        ctl = causality.process_root().child(causality.new_span_id())
+        causality.note_control(ctl)
+        assert causality.fork_parent_context() is ctl
+
+    def test_active_thread_context_beats_control(self):
+        ctl = causality.process_root().child(causality.new_span_id())
+        causality.note_control(ctl)
+        active = ctl.child(causality.new_span_id())
+        with causality.activate(active):
+            assert causality.fork_parent_context() is active
+
+
+class TestForkReset:
+    def test_staged_fork_roots_child_in_same_trace(self):
+        parent_root = causality.process_root()
+        bracket = parent_root.child(causality.new_span_id())
+        causality.stage_fork(bracket)
+        returned = causality.reset_after_fork()
+        assert returned is bracket
+        child_root = causality.process_root()
+        assert child_root.trace_id == parent_root.trace_id
+        assert child_root.parent_span_id == bracket.span_id
+        # The slot is consumed — a second fork without staging is untraced.
+        assert causality.pending_fork() is None
+
+    def test_untraced_fork_starts_fresh_trace(self):
+        old = causality.process_root()
+        assert causality.reset_after_fork() is None
+        new = causality.process_root()
+        assert new.trace_id != old.trace_id
+        assert new.parent_span_id is None
+
+    def test_reset_clears_thread_and_control_state(self):
+        causality.note_control(
+            causality.process_root().child(causality.new_span_id()))
+        causality._tls.stack = [causality.process_root()]  # noqa: SLF001
+        causality.reset_after_fork()
+        assert causality.current() is None
+        assert causality.control_context() is None
+
+
+class TestExecReset:
+    def test_handoff_continues_trace(self):
+        old_root = causality.process_root()
+        parent = causality.reset_after_exec(old_root.to_wire())
+        assert parent == old_root
+        new_root = causality.process_root()
+        assert new_root.trace_id == old_root.trace_id
+        assert new_root.parent_span_id == old_root.span_id
+
+    def test_garbage_handoff_means_fresh_lazy_root(self):
+        old = causality.process_root()
+        assert causality.reset_after_exec({"nope": 1}) is None
+        fresh = causality.process_root()
+        assert fresh.trace_id != old.trace_id

@@ -115,3 +115,49 @@ class TestWriteAndValidate:
     def test_validate_rejects_non_document(self):
         assert validate_trace([]) == ["document is not an object"]
         assert validate_trace({}) == ["traceEvents missing or not a list"]
+
+
+class TestFlowEvents:
+    def flow_span(self, **over):
+        span = {"name": "process.root", "cat": "process", "pid": 200,
+                "tid": 1, "wall": 1001.0, "mono": 51.0, "dur": 0.0,
+                "id": "sChild", "parent": "sBracket", "trace": "t1",
+                "args": {"flow": {"kind": "fork", "parent_span": "sBracket",
+                                  "parent_pid": 100, "wall": 1000.5}}}
+        span.update(over)
+        return span
+
+    def test_fork_flow_emits_start_finish_pair(self):
+        doc = chrome_trace(
+            [make_snapshot(pid=200, spans=[self.flow_span()])])
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["pid"] == 100  # the arrow leaves the parent...
+        assert finish["pid"] == 200  # ...and lands on the child's root
+        assert start["id"] == finish["id"] == "sChild"
+        assert start["name"] == finish["name"] == "fork-flow"
+        assert finish["bp"] == "e"
+        assert validate_trace(doc) == []
+
+    def test_span_ids_surface_in_event_args(self):
+        doc = chrome_trace(
+            [make_snapshot(pid=200, spans=[self.flow_span()])])
+        (x_event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x_event["args"]["span_id"] == "sChild"
+        assert x_event["args"]["parent_span_id"] == "sBracket"
+        assert x_event["args"]["trace_id"] == "t1"
+
+    def test_flow_without_parent_pid_is_skipped(self):
+        span = self.flow_span()
+        del span["args"]["flow"]["parent_pid"]
+        doc = chrome_trace([make_snapshot(pid=200, spans=[span])])
+        assert [e for e in doc["traceEvents"] if e.get("cat") == "flow"] \
+            == []
+
+    def test_rpc_flow_names_its_kind(self):
+        span = self.flow_span()
+        span["args"]["flow"]["kind"] = "rpc"
+        doc = chrome_trace([make_snapshot(pid=200, spans=[span])])
+        flows = [e for e in doc["traceEvents"] if e.get("cat") == "flow"]
+        assert all(e["name"] == "rpc-flow" for e in flows)

@@ -196,3 +196,18 @@ class TestForkAwareness:
         assert snap["labels"]["program"] == "child-prog"
         import os
         assert snap["labels"]["pid"] == os.getpid()
+
+    def test_reset_after_fork_survives_a_held_lock(self):
+        # A parent thread mid-snapshot at the fork moment leaves the
+        # inherited lock held forever in the single-threaded child; the
+        # reset must replace the lock, never acquire it.
+        reg = MetricsRegistry()
+        inherited = reg._lock
+        inherited.acquire()
+        try:
+            reg.reset_after_fork()
+        finally:
+            inherited.release()
+        assert reg._lock is not inherited
+        reg.inc("child.only")
+        assert reg.snapshot()["counters"] == {"child.only": 1}

@@ -72,6 +72,22 @@ class TestReset:
             pass
         assert [s["name"] for s in rec.snapshot()] == ["child-era"]
 
+    def test_reset_after_fork_survives_a_held_lock(self):
+        # The fork may land while a parent thread is mid-record; the
+        # child inherits that held lock and is single-threaded, so the
+        # reset must replace it, never acquire it.
+        rec = SpanRecorder(capacity=8)
+        inherited = rec._lock
+        inherited.acquire()
+        try:
+            rec.reset_after_fork()   # would deadlock on the old lock
+        finally:
+            inherited.release()
+        assert rec._lock is not inherited
+        with rec.span("child-era"):  # fresh lock must be usable
+            pass
+        assert [s["name"] for s in rec.snapshot()] == ["child-era"]
+
 
 class TestThreadSafety:
     def test_concurrent_spans_all_complete(self):

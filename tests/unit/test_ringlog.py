@@ -76,6 +76,21 @@ class TestRingSemantics:
         log.reset_after_fork()
         assert log.snapshot() == []
 
+    def test_reset_after_fork_survives_a_held_lock(self):
+        # A parent thread mid-emit at the fork moment leaves the
+        # inherited lock held forever in the single-threaded child; the
+        # reset must replace the lock, never acquire it.
+        log = RingLog(capacity=4)
+        inherited = log._lock
+        inherited.acquire()
+        try:
+            log.reset_after_fork()
+        finally:
+            inherited.release()
+        assert log._lock is not inherited
+        log.emit("c", "child record")
+        assert [r.message for r in log.snapshot()] == ["child record"]
+
 
 class TestConcurrency:
     def test_parallel_emitters_keep_all_records(self):

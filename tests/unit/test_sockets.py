@@ -91,6 +91,22 @@ class TestShutdownSemantics:
         conn.close()
         client.close()
 
+    def test_inherited_close_survives_a_held_send_lock(self):
+        """A parent thread mid-send (lock held) at the fork moment
+        leaves the inherited ``_send_lock`` held forever in the
+        single-threaded child; the inherited-close mode must flip the
+        flag and replace the lock, never acquire it."""
+        conn, client = tcp_pair()
+        inherited = conn._send_lock
+        inherited.acquire()
+        try:
+            conn.close(shutdown=False)
+        finally:
+            inherited.release()
+        assert conn.closed
+        assert conn._send_lock is not inherited
+        client.close()
+
     @pytest.mark.forks
     def test_inherited_close_with_shutdown_would_break_parent(self):
         """Documents WHY shutdown=False exists: the opposite choice

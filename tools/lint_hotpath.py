@@ -186,6 +186,50 @@ def find_fork_phase_blocking_calls(path: str, function_names) -> list:
     return hits
 
 
+#: Timestamp discipline for the causal-timeline modules: cross-process
+#: ordering is computed from monotonic stamps, wall clocks are carried
+#: only as *paired* anchors for display alignment (NTP slew or a clock
+#: step must never reorder a timeline).  So inside these modules any
+#: function that reads ``time.time()`` must read ``time.monotonic()``
+#: in the same function — a lone wall-clock read is a latent ordering
+#: bug.
+CLOCK_PAIR_MODULES = (
+    os.path.join("src", "repro", "obs", "spans.py"),
+    os.path.join("src", "repro", "obs", "blackbox.py"),
+    os.path.join("src", "repro", "obs", "causality.py"),
+)
+
+
+def find_unpaired_wall_clock(path: str) -> list:
+    """(lineno, what) for each function calling ``time.time()`` without
+    a matching ``time.monotonic()`` call in the same function body."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+
+    def clock_calls(function) -> dict:
+        calls = {"time": [], "monotonic": []}
+        for node in ast.walk(function):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "time"
+                    and node.func.attr in calls):
+                calls[node.func.attr].append(node.lineno)
+        return calls
+
+    hits = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        calls = clock_calls(node)
+        if calls["time"] and not calls["monotonic"]:
+            hits.append((calls["time"][0],
+                         f"time.time() without time.monotonic() "
+                         f"in {node.name}"))
+    return hits
+
+
 def main(argv: list) -> int:
     root = argv[1] if len(argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
@@ -238,13 +282,24 @@ def main(argv: list) -> int:
                 f"{rel}:{lineno}: blocking call {what} in a fork-phase "
                 f"body (prepare/child run with the debuggee frozen; "
                 f"memory and the ringlog only)")
+    for module in CLOCK_PAIR_MODULES:
+        clock_path = os.path.join(root, module)
+        if not os.path.isfile(clock_path):
+            print(f"lint-hotpath: missing {clock_path}", file=sys.stderr)
+            return 2
+        for lineno, what in find_unpaired_wall_clock(clock_path):
+            rel = os.path.relpath(clock_path, root)
+            problems.append(
+                f"{rel}:{lineno}: {what} (timeline modules must stamp "
+                f"wall+monotonic pairs; a lone wall clock cannot order "
+                f"events across processes)")
     if problems:
         print("\n".join(problems))
         return 1
     print(f"lint-hotpath: OK ({', '.join(HOT_PACKAGES)} are "
           f"logging-free; {FASTPATH_FUNCTION} is obs-free; the client "
           f"reactor has no blocking calls; fork-phase bodies have no "
-          f"blocking calls)")
+          f"blocking calls; timeline modules pair wall with monotonic)")
     return 0
 
 
